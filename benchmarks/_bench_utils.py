@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness (imported by every bench module).
+
+``BENCH_SCALE`` scales problem sizes (set ``REPRO_BENCH_SCALE=1.0`` for the
+full-size figures used in EXPERIMENTS.md); ``BENCH_RUNS`` sets the Monte-Carlo
+runs per cell; ``run_once`` executes a whole experiment exactly once under
+pytest-benchmark timing (Monte-Carlo regenerations are not micro-benchmarks).
+"""
+
+from __future__ import annotations
+
+import os
+
+#: scale factor applied to problem sizes (override with REPRO_BENCH_SCALE)
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+#: Monte-Carlo runs per cell (override with REPRO_BENCH_RUNS)
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "5"))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute ``func(*args, **kwargs)`` exactly once under benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,131 @@
+"""Ablations — design choices called out in DESIGN.md §5.
+
+* power of two choices: median (2 choices) vs voter (1 choice) vs 3-majority;
+* median vs mean rule (the mean rule converges but to a non-initial value);
+* sampling with vs without replacement / with vs without self;
+* adversary placement before vs after the sampling step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.base import AdversaryTiming
+from repro.adversary.strategies import BalancingAdversary
+from repro.core.baseline_rules import MeanRule, TwoChoicesMajorityRule, VoterRule
+from repro.core.median_rule import MedianRule, MedianRuleWithoutReplacement
+from repro.core.state import Configuration
+from repro.engine.batch import run_batch
+from repro.engine.vectorized import simulate
+from repro.experiments.workloads import blocks_workload
+
+from _bench_utils import BENCH_RUNS, BENCH_SCALE, run_once
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_power_of_two_choices(benchmark):
+    """Median (two choices) vs voter (one choice) vs classical 3-majority."""
+    n = max(128, int(512 * BENCH_SCALE))
+    init = blocks_workload(n, 16)
+    runs = max(BENCH_RUNS, 4)
+
+    def _measure():
+        out = {}
+        for label, rule, horizon in (
+            ("median (2 choices)", MedianRule(), 400),
+            ("3-majority", TwoChoicesMajorityRule(), 400),
+            ("voter (1 choice)", VoterRule(), 12 * n),
+        ):
+            batch = run_batch(init, num_runs=runs, rule=rule, seed=111, max_rounds=horizon)
+            out[label] = (batch.convergence_fraction, batch.mean_rounds)
+        return out
+
+    results = run_once(benchmark, _measure)
+    print(f"\n=== Power of two choices (n={n}, 16 initial values) ===")
+    for label, (frac, mean) in results.items():
+        mean_s = "-" if np.isnan(mean) else f"{mean:.1f}"
+        print(f"  {label:20s} converged={frac:.2f}  mean rounds={mean_s}")
+
+    med_frac, med_mean = results["median (2 choices)"]
+    vot_frac, vot_mean = results["voter (1 choice)"]
+    assert med_frac == 1.0
+    # the voter model is dramatically slower (Θ(n) vs O(log n))
+    if vot_frac == 1.0:
+        assert vot_mean > 5 * med_mean
+    maj_frac, maj_mean = results["3-majority"]
+    assert maj_frac == 1.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_median_vs_mean_rule(benchmark):
+    """The mean rule converges, but not necessarily to an initial value."""
+    n = max(128, int(512 * BENCH_SCALE))
+    initial_values = np.array([0, 10], dtype=np.int64)
+    init = Configuration.from_values(np.repeat(initial_values, n // 2))
+
+    def _measure():
+        med = simulate(init, rule=MedianRule(), seed=22, max_rounds=600)
+        mean = simulate(init, rule=MeanRule(), seed=22, max_rounds=600)
+        return med, mean
+
+    med, mean = run_once(benchmark, _measure)
+    print(f"\n=== Median vs mean rule (n={n}, initial values {{0, 10}}) ===")
+    print(f"  median rule: consensus={med.reached_consensus} value={med.winning_value}")
+    print(f"  mean rule:   consensus={mean.reached_consensus} value={mean.winning_value} "
+          f"support={sorted(mean.final.support.tolist())[:5]}")
+    assert med.reached_consensus
+    assert med.winning_value in (0, 10)
+    # the mean rule contracts towards the average ~5, which is NOT an initial value
+    if mean.reached_consensus:
+        assert mean.winning_value not in (0, 10)
+    else:
+        assert not set(mean.final.support.tolist()) <= {0, 10}
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_sampling_with_vs_without_replacement(benchmark):
+    """Excluding self / forcing distinct contacts changes nothing measurable."""
+    n = max(256, int(1024 * BENCH_SCALE))
+    init = Configuration.all_distinct(n)
+    runs = max(BENCH_RUNS, 5)
+
+    def _measure():
+        a = run_batch(init, num_runs=runs, rule=MedianRule(), seed=33)
+        b = run_batch(init, num_runs=runs, rule=MedianRuleWithoutReplacement(), seed=34)
+        return a.mean_rounds, b.mean_rounds
+
+    with_mean, without_mean = run_once(benchmark, _measure)
+    print(f"\n=== Sampling ablation (n={n}) ===")
+    print(f"  with replacement / self allowed : {with_mean:.2f} rounds")
+    print(f"  without replacement / no self   : {without_mean:.2f} rounds")
+    assert with_mean == pytest.approx(without_mean, rel=0.4)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_adversary_timing_before_vs_after_sampling(benchmark):
+    """Section 1.1 (before sampling) vs Section 3 (after sampling) placement."""
+    n = max(512, int(1024 * BENCH_SCALE))
+    budget = max(1, int(0.25 * np.sqrt(n)))
+    init = Configuration.two_bins(n, minority=n // 2)
+    runs = max(BENCH_RUNS, 4)
+
+    def _measure():
+        out = {}
+        for timing in (AdversaryTiming.BEFORE_SAMPLING, AdversaryTiming.AFTER_SAMPLING):
+            batch = run_batch(
+                init, num_runs=runs,
+                adversary_factory=lambda t=timing: BalancingAdversary(budget=budget, timing=t),
+                seed=44, max_rounds=1200)
+            out[timing.value] = (batch.convergence_fraction, batch.mean_rounds)
+        return out
+
+    results = run_once(benchmark, _measure)
+    print(f"\n=== Adversary placement ablation (n={n}, T={budget}) ===")
+    for timing, (frac, mean) in results.items():
+        print(f"  {timing:18s} converged={frac:.2f}  mean rounds={mean:.1f}")
+    for frac, _ in results.values():
+        assert frac == 1.0
+    before = results["before-sampling"][1]
+    after = results["after-sampling"][1]
+    assert before == pytest.approx(after, rel=0.75)

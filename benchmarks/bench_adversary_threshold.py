@@ -1,0 +1,72 @@
+"""ADVBOUND — tightness of the √n adversary bound.
+
+Paper artifact: the remark after Theorem 2 that the bound on T is essentially
+tight — "T = Ω~(√n) would not allow the median rule to stabilize any more
+w.h.p. because the adversary could keep two groups of processes with equal
+values in perfect balance for at least a polynomially long time."
+
+What we measure: convergence of the median rule from the balanced two-bin
+state against the balancing adversary with T = c·√n for increasing c, at a
+fixed horizon.  Shape assertions: weak adversaries (small c) are always
+beaten within the horizon; making c larger monotonically (weakly) increases
+the convergence time; and a strongly super-√n adversary (c·√n comparable to
+the CLT fluctuation scale times a large factor) prevents convergence within
+the horizon entirely.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversary.strategies import BalancingAdversary
+from repro.core.state import Configuration
+from repro.engine.batch import run_batch
+
+from _bench_utils import BENCH_RUNS, BENCH_SCALE, run_once
+
+
+def _measure(n, constants, runs, horizon):
+    rows = []
+    for c in constants:
+        budget = max(0, int(round(c * math.sqrt(n))))
+        factory = (lambda b=budget: BalancingAdversary(budget=b)) if budget else None
+        batch = run_batch(
+            Configuration.two_bins(n, minority=n // 2),
+            num_runs=runs,
+            adversary_factory=factory,
+            seed=707,
+            max_rounds=horizon,
+        )
+        rows.append({
+            "c": c, "T": budget,
+            "converged_fraction": batch.convergence_fraction,
+            "mean_rounds": batch.mean_rounds,
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="adversary-threshold")
+def test_adversary_threshold(benchmark):
+    n = max(1024, int(4096 * BENCH_SCALE))
+    constants = (0.0, 0.1, 0.25, 0.5, 4.0)
+    horizon = 800
+    rows = run_once(benchmark, _measure, n, constants, max(BENCH_RUNS, 4), horizon)
+
+    print(f"\n=== Adversary threshold: balancing adversary with T = c*sqrt(n), n={n} ===")
+    for row in rows:
+        mean = "-" if np.isnan(row["mean_rounds"]) else f"{row['mean_rounds']:.1f}"
+        print(f"  c={row['c']:4.2f}  T={row['T']:4d}  converged={row['converged_fraction']:.2f}"
+              f"  mean rounds={mean}")
+
+    by_c = {row["c"]: row for row in rows}
+    # weak adversaries are always beaten
+    for c in (0.0, 0.1, 0.25):
+        assert by_c[c]["converged_fraction"] == 1.0
+    # convergence time weakly increases with the adversary constant
+    means = [by_c[c]["mean_rounds"] for c in (0.0, 0.1, 0.25) ]
+    assert means[0] <= means[1] * 1.2 + 5 and means[1] <= means[2] * 1.2 + 5
+    # a strongly super-threshold adversary pins the system within this horizon
+    assert by_c[4.0]["converged_fraction"] < 1.0

@@ -1,0 +1,110 @@
+"""LEM11-16 — the two-bin drift structure (Lemmas 11, 12, 14, 15) and phases (Thm 20).
+
+Paper artifacts: the lemma chain behind Theorem 10 and the phase argument of
+Theorem 20.
+
+What we measure:
+* the empirical one-round drift of the minority load at several imbalances,
+  against the exact expectation and the Lemma 11/12 bounds;
+* the empirical distribution of the post-balanced-round imbalance against the
+  Lemma 14 normal approximation and explicit lower bound;
+* the empirical number of candidate-window halvings (phases) on a many-value
+  adversarial run, against the Theorem 20 budget of log2(m)+1 phases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.clt import (
+    imbalance_std_after_balanced_round,
+    lemma14_lower_bound,
+    simulate_balanced_round_imbalance,
+)
+from repro.analysis.drift import (
+    expected_minority_next,
+    lemma11_quadratic_bound,
+    lemma12_contraction_factor,
+    measure_empirical_drift,
+)
+from repro.analysis.phases import detect_phases, expected_phase_count
+from repro.engine.trajectory import RecordLevel
+from repro.engine.vectorized import simulate
+from repro.experiments.workloads import blocks_workload
+
+from _bench_utils import BENCH_SCALE, run_once
+
+
+@pytest.mark.benchmark(group="drift")
+def test_lemma11_12_drift_curve(benchmark):
+    n = max(1000, int(4000 * BENCH_SCALE))
+    minorities = [int(f * n) for f in (0.05, 0.15, 0.25, 0.35, 0.45)]
+    rng = np.random.default_rng(77)
+
+    def _measure():
+        return [measure_empirical_drift(n, x, samples=200, rng=rng) for x in minorities]
+
+    observations = run_once(benchmark, _measure)
+    print(f"\n=== Lemmas 11/12: one-round minority drift at n={n} ===")
+    print("  minority   empirical E[X']   exact E[X']   (1-d/2)X bound   3X^2/n bound")
+    for obs in observations:
+        x = obs.minority_before
+        delta = (n / 2 - x) / n
+        l12 = (1 - delta / 2) * x
+        l11 = lemma11_quadratic_bound(n, x)
+        print(f"  {x:8d}   {obs.minority_after_mean:13.1f}   {obs.predicted_mean:11.1f}"
+              f"   {l12:14.1f}   {l11:12.1f}")
+        assert obs.relative_error < 0.03
+        # Lemma 12 bound holds whenever delta < 1/3
+        if delta < 1 / 3:
+            assert obs.predicted_mean <= l12 + 1e-9
+        # Lemma 11 bound holds once the minority is at most n/4
+        if x <= n / 4:
+            assert obs.predicted_mean <= l11 + 1e-9
+
+    # the contraction factor improves (gets smaller) as the minority shrinks
+    factors = [lemma12_contraction_factor(n, x) for x in minorities]
+    assert all(a <= b + 1e-12 for a, b in zip(factors, factors[1:]))
+
+
+@pytest.mark.benchmark(group="drift")
+def test_lemma14_clt_kickstart(benchmark):
+    n = max(1024, int(4096 * BENCH_SCALE))
+    if n % 2:
+        n += 1
+    samples = 3000
+    rng = np.random.default_rng(78)
+
+    psi = run_once(benchmark, simulate_balanced_round_imbalance, n, samples, rng)
+    predicted_std = imbalance_std_after_balanced_round(n)
+    print(f"\n=== Lemma 14: imbalance after one round from the balanced state, n={n} ===")
+    print(f"  empirical std = {psi.std():.2f}   predicted sqrt(3n/16) = {predicted_std:.2f}")
+    assert psi.std() == pytest.approx(predicted_std, rel=0.08)
+
+    for c in (0.25, 0.5, 1.0):
+        freq = float(np.mean(psi >= c * np.sqrt(n)))
+        bound = lemma14_lower_bound(c)
+        print(f"  P[Psi >= {c:.2f} sqrt(n)]  empirical={freq:.4f}   lemma lower bound={bound:.4f}")
+        assert freq >= bound - 0.03
+
+
+@pytest.mark.benchmark(group="drift")
+def test_theorem20_phase_structure(benchmark):
+    n = max(512, int(2048 * BENCH_SCALE))
+    m = 16
+    init = blocks_workload(n, m)
+
+    def _run():
+        res = simulate(init, seed=79, record=RecordLevel.FULL)
+        return detect_phases(res.trajectory.configurations)
+
+    records = run_once(benchmark, _run)
+    print(f"\n=== Theorem 20 phase structure: n={n}, m={m} ===")
+    for rec in records:
+        print(f"  phase {rec.phase_index}: ends round {rec.end_round}, "
+              f"candidate window has {rec.window_values} values")
+    budget = expected_phase_count(m)
+    print(f"  detected {len(records)} phases; Theorem 20 budget = {budget}")
+    assert records and records[-1].window_values == 1
+    assert len(records) <= budget + 2

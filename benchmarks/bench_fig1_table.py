@@ -1,0 +1,45 @@
+"""FIG1 — regenerate the paper's Figure 1 summary table.
+
+Paper artifact: the 2×3 table of convergence bounds (worst-case 2 bins,
+worst-case m bins, average-case m bins × with/without √n adversary).
+
+What we measure: the empirical mean convergence round of every cell at one
+fixed n, printed in the same layout.  Shape assertions: every cell converges,
+and all cells sit within a small multiple of log2(n) rounds (the paper's
+worst bound at fixed n is O(log m·log log n + log n), which at these sizes is
+a constant factor of log n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import reproduce_figure1
+
+from _bench_utils import BENCH_RUNS, BENCH_SCALE, run_once
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_table(benchmark):
+    figure = run_once(benchmark, reproduce_figure1, scale=BENCH_SCALE,
+                      num_runs=BENCH_RUNS, seed=808)
+    print("\n=== Figure 1 (empirical mean rounds to (almost) stable consensus) ===")
+    print(figure.table)
+
+    report = figure.report
+    n = report.cells[0].n
+    bound = 12 * np.log2(n) + 40
+    for cell in report.cells:
+        assert cell.convergence_fraction == 1.0, f"cell {cell.config.name} did not converge"
+        assert cell.mean_rounds <= bound, (
+            f"cell {cell.config.name} took {cell.mean_rounds} rounds (> {bound})")
+
+    # no-adversary cells should not be slower than their adversarial twins
+    for prefix in ("worst-2bins", "avg-"):
+        noadv = [c.mean_rounds for c in report.cells
+                 if c.config.name.startswith(prefix) and c.config.name.endswith("/noadv")]
+        adv = [c.mean_rounds for c in report.cells
+               if c.config.name.startswith(prefix) and c.config.name.endswith("/adv")]
+        if noadv and adv:
+            assert np.mean(noadv) <= np.mean(adv) * 1.5 + 10

@@ -1,0 +1,55 @@
+"""GRAVITY — Equation (1): g(i) = 6 i (n−i)/n² + O(1/n).
+
+Paper artifact: the gravity function of Section 4.2 and the 4/3-threshold
+structure behind Lemmas 18/19 (bins whose heavy balls all have gravity ≥ 4/3
+grow; bins with a heavy ball of gravity < 4/3 die).
+
+What we measure: the empirical expected number of balls choosing each rank as
+their median (Monte-Carlo over single rounds from the all-distinct state)
+against the exact formula and the Eq.-(1) approximation; plus the location of
+the 4/3 crossing.  Shape assertions: max deviation from the exact gravity is
+Monte-Carlo-small, the Eq.-(1) approximation error is O(1/n), the curve peaks
+at the median ball, and the 4/3 threshold sits at i ≈ n/3 and ≈ 2n/3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gravity import empirical_gravity, exact_gravity, gravity_array
+
+from _bench_utils import BENCH_SCALE, run_once
+
+
+@pytest.mark.benchmark(group="gravity")
+def test_gravity_equation1(benchmark):
+    n = max(200, int(600 * BENCH_SCALE))
+    rounds = 400
+    rng = np.random.default_rng(11)
+
+    emp = run_once(benchmark, empirical_gravity, n, rounds, rng)
+    exact = np.array([exact_gravity(i, n) for i in range(1, n + 1)])
+    approx = gravity_array(n)
+
+    max_mc_err = float(np.max(np.abs(emp - exact)))
+    max_approx_err = float(np.max(np.abs(approx - exact)))
+    peak_rank = int(np.argmax(emp)) + 1
+
+    print(f"\n=== Gravity (Equation 1) at n={n}, {rounds} Monte-Carlo rounds ===")
+    print(f"  max |empirical - exact|       = {max_mc_err:.4f}")
+    print(f"  max |Eq.(1) approx - exact|   = {max_approx_err:.4f}  (should be O(1/n) = {6.5/n:.4f})")
+    print(f"  empirical peak at rank {peak_rank} (median ball at {(n + 1) // 2})")
+    print(f"  gravity at n/2: {approx[n // 2 - 1]:.3f};  at n/3: {approx[n // 3 - 1]:.3f};"
+          f"  at n/6: {approx[n // 6 - 1]:.3f}")
+
+    # Monte-Carlo noise per rank ~ sqrt(1.5/rounds) ≈ 0.06; allow generous slack
+    assert max_mc_err < 0.4
+    assert max_approx_err <= 6.5 / n + 1e-9
+    assert abs(peak_rank - n / 2) < 0.1 * n
+
+    # 4/3-threshold structure: gravity exceeds 4/3 strictly between ~n/3 and ~2n/3
+    above = np.flatnonzero(exact > 4 / 3) + 1
+    assert above.size > 0
+    assert abs(above.min() - n / 3) < 0.05 * n + 3
+    assert abs(above.max() - 2 * n / 3) < 0.05 * n + 3

@@ -1,0 +1,62 @@
+"""MINRULE — the Section 1.1 counterexample: minimum rule vs median rule.
+
+Paper artifact: the introduction's argument that the minimum rule is not
+stabilizing under a 1-bounded adversary, which motivates the median rule.
+
+What we measure: both rules run from a state where value 1 holds all but one
+process; after a delay the adversary re-introduces value 0 at a single
+process each round.  Shape assertions: the minimum rule ends up flipped to
+value 0 (so its apparent agreement was not stable); the median rule stays on
+value 1 with all but O(T) processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+from repro.adversary.strategies import RevivingAdversary
+from repro.core.baseline_rules import MinimumRule
+from repro.core.median_rule import MedianRule
+from repro.core.state import Configuration
+from repro.engine.vectorized import simulate
+
+from _bench_utils import BENCH_RUNS, BENCH_SCALE, run_once
+
+
+def _attack(n, runs):
+    rows = []
+    for rule_cls, label in ((MinimumRule, "minimum"), (MedianRule, "median")):
+        flipped = 0
+        final_fracs = []
+        for s in range(runs):
+            init = Configuration.two_bins(n, minority=1, low=0, high=1)
+            adv = RevivingAdversary(budget=1, delay=30, target_value=0)
+            res = simulate(init, rule=rule_cls(), adversary=adv, seed=606 + s,
+                           max_rounds=400, run_to_horizon=True)
+            if res.final.majority_value() == 0:
+                flipped += 1
+            final_fracs.append(res.final.count_value(1) / n)
+        rows.append({"rule": label, "flipped_runs": flipped, "runs": runs,
+                     "mean_final_share_of_1": float(np.mean(final_fracs))})
+    return rows
+
+
+@pytest.mark.benchmark(group="minimum-rule")
+def test_minimum_rule_attack(benchmark):
+    n = max(256, int(1024 * BENCH_SCALE))
+    rows = run_once(benchmark, _attack, n, max(BENCH_RUNS, 4))
+
+    print(f"\n=== Minimum-rule counterexample (n={n}, 1-bounded reviving adversary) ===")
+    for row in rows:
+        print(f"  {row['rule']:8s} rule: flipped in {row['flipped_runs']}/{row['runs']} runs, "
+              f"mean final share of value 1 = {row['mean_final_share_of_1']:.3f}")
+
+    minimum = next(r for r in rows if r["rule"] == "minimum")
+    median = next(r for r in rows if r["rule"] == "median")
+    # the minimum rule is flipped every time; the median rule never is
+    assert minimum["flipped_runs"] == minimum["runs"]
+    assert median["flipped_runs"] == 0
+    assert median["mean_final_share_of_1"] > 0.98
+    assert minimum["mean_final_share_of_1"] < 0.1

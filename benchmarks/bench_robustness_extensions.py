@@ -1,0 +1,177 @@
+"""Robustness & future-work extensions (paper's conclusion: "higher dimensions"
+and "the robustness of the protocol deserves further studies").
+
+Not part of the paper's evaluation — these benches probe the open directions
+the conclusion lists, using the extension modules of this library:
+
+* **higher dimensions**: coordinate-wise and Tukey-style median rules on
+  vector values (``repro.core.multidim``) — do they keep the O(log n)-like
+  convergence of the 1-D rule?
+* **asynchrony**: sequential activation instead of synchronous rounds
+  (``repro.engine.asynchronous``) — does the rule still converge in O(log n)
+  *sweeps* under uniform, shuffled and adversarial schedules?
+* **sparse topologies**: the median rule on rings, tori and random regular
+  graphs instead of the complete graph (``repro.network``) — where does the
+  complete-graph analysis stop applying?
+* **mean-field skeleton**: the deterministic prefix-mass recursion
+  (``repro.analysis.meanfield``) against the stochastic engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.meanfield import compare_with_simulation, iterate_fractions
+from repro.core.multidim import (
+    CoordinatewiseMedianRule,
+    TukeyMedianRule,
+    VectorConfiguration,
+    simulate_vector,
+)
+from repro.core.state import Configuration
+from repro.engine.asynchronous import ACTIVATION_ORDERS, simulate_asynchronous
+from repro.engine.vectorized import simulate
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import random_regular_topology, ring_topology, torus_topology
+
+from _bench_utils import BENCH_RUNS, BENCH_SCALE, run_once
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_higher_dimensions(benchmark):
+    """Coordinate-wise vs Tukey median rules in d = 1, 2, 4 dimensions."""
+    n = max(128, int(512 * BENCH_SCALE))
+    repeats = max(BENCH_RUNS, 4)
+
+    def _measure():
+        rows = []
+        for d in (1, 2, 4):
+            for rule, label in ((CoordinatewiseMedianRule(), "coordinatewise"),
+                                (TukeyMedianRule(), "tukey")):
+                rounds, preserved = [], 0
+                for s in range(repeats):
+                    rng = np.random.default_rng(1000 + s)
+                    vc = VectorConfiguration.random(n, d, 0, 10**6, rng)
+                    res = simulate_vector(vc, rule=rule, seed=s, max_rounds=4000)
+                    assert res.reached_consensus
+                    rounds.append(res.consensus_round)
+                    if vc.contains_vector(res.final_vector):
+                        preserved += 1
+                rows.append({"d": d, "rule": label, "mean_rounds": float(np.mean(rounds)),
+                             "initial_vector_preserved": preserved, "repeats": repeats})
+        return rows
+
+    rows = run_once(benchmark, _measure)
+    print(f"\n=== Higher dimensions (n={n}) ===")
+    for row in rows:
+        print(f"  d={row['d']}  {row['rule']:15s} mean rounds={row['mean_rounds']:7.1f}  "
+              f"limit was an initial vector in {row['initial_vector_preserved']}/{row['repeats']} runs")
+
+    coord = {r["d"]: r["mean_rounds"] for r in rows if r["rule"] == "coordinatewise"}
+    tukey = {r["d"]: r["mean_rounds"] for r in rows if r["rule"] == "tukey"}
+    # coordinate-wise: dimension costs essentially nothing (coordinates evolve in parallel)
+    assert coord[4] < 2.5 * coord[1]
+    # Tukey keeps value preservation but is slower as d grows; it must still finish
+    assert all(np.isfinite(v) for v in tukey.values())
+    # in d=1 both coincide with the scalar median rule up to noise
+    assert tukey[1] < 3 * coord[1] + 10
+    # Tukey always returns one of the initial vectors
+    for row in rows:
+        if row["rule"] == "tukey":
+            assert row["initial_vector_preserved"] == row["repeats"]
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_asynchronous_schedules(benchmark):
+    """Sequential activation: uniform, per-sweep shuffle, adversarial ordering."""
+    n = max(256, int(1024 * BENCH_SCALE))
+    repeats = max(BENCH_RUNS, 4)
+    init = Configuration.all_distinct(n)
+
+    def _measure():
+        sync_rounds = [simulate(init, seed=s).consensus_round for s in range(repeats)]
+        out = {"synchronous rounds": float(np.mean(sync_rounds))}
+        for order in ACTIVATION_ORDERS:
+            sweeps = []
+            for s in range(repeats):
+                res = simulate_asynchronous(init, order=order, seed=100 + s, max_sweeps=2000)
+                assert res.reached_consensus
+                sweeps.append(res.consensus_sweep)
+            out[f"async sweeps ({order})"] = float(np.mean(sweeps))
+        return out
+
+    results = run_once(benchmark, _measure)
+    print(f"\n=== Asynchronous activation (n={n}) ===")
+    for label, mean in results.items():
+        print(f"  {label:28s} {mean:7.2f}")
+    sync = results["synchronous rounds"]
+    for order in ACTIVATION_ORDERS:
+        assert results[f"async sweeps ({order})"] < 4 * sync + 10
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_sparse_topologies(benchmark):
+    """The median rule restricted to ring / torus / random-regular neighbourhoods."""
+    side = max(8, int(16 * np.sqrt(BENCH_SCALE)))
+    n = side * side
+
+    def _measure():
+        rows = []
+        for label, topo in (
+            ("complete", None),
+            ("random 8-regular", random_regular_topology(n, 8, seed=1)),
+            ("torus (degree 4)", torus_topology(side)),
+            ("ring (degree 2)", ring_topology(n)),
+        ):
+            sim = NetworkSimulator(Configuration.two_bins(n, minority=n // 3),
+                                   topology=topo, seed=5)
+            res = sim.run(max_rounds=600)
+            rows.append({
+                "topology": label,
+                "consensus": res.reached_consensus,
+                "rounds": res.consensus_round,
+                "final_agreement": res.final.agreement_fraction(),
+            })
+        return rows
+
+    rows = run_once(benchmark, _measure)
+    print(f"\n=== Sparse topologies (n={n}, 1/3-2/3 two-value start) ===")
+    for row in rows:
+        rounds = row["rounds"] if row["rounds"] is not None else "-"
+        print(f"  {row['topology']:18s} consensus={str(row['consensus']):5s} "
+              f"rounds={rounds}  agreement={row['final_agreement']:.3f}")
+    by_label = {r["topology"]: r for r in rows}
+    # complete graph and expander-like random regular graphs behave alike
+    assert by_label["complete"]["consensus"]
+    assert by_label["random 8-regular"]["final_agreement"] > 0.95
+    # low-degree lattices still make progress towards large agreement
+    assert by_label["torus (degree 4)"]["final_agreement"] > 0.75
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_meanfield_skeleton(benchmark):
+    """Deterministic prefix-mass recursion vs the stochastic engine."""
+    n = max(512, int(2048 * BENCH_SCALE))
+
+    def _measure():
+        rows = []
+        for label, fractions in (
+            ("60/40 two bins", [0.4, 0.6]),
+            ("uniform 5 bins", [0.2] * 5),
+            ("skewed 4 bins", [0.1, 0.2, 0.3, 0.4]),
+        ):
+            predicted, simulated = compare_with_simulation(fractions, n, num_runs=max(BENCH_RUNS, 4),
+                                                           seed=9)
+            winner = iterate_fractions(fractions).winner()
+            rows.append({"workload": label, "predicted": predicted, "simulated": simulated,
+                         "meanfield_winner": winner})
+        return rows
+
+    rows = run_once(benchmark, _measure)
+    print(f"\n=== Mean-field skeleton vs simulation (n={n}) ===")
+    for row in rows:
+        print(f"  {row['workload']:16s} mean-field rounds={row['predicted']:6.1f}  "
+              f"simulated rounds={row['simulated']:6.1f}  winner bin={row['meanfield_winner']}")
+        # the deterministic skeleton tracks the stochastic process within a small factor
+        assert 0.2 <= row["predicted"] / row["simulated"] <= 5.0

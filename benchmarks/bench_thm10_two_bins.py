@@ -1,0 +1,85 @@
+"""THM10 — two bins with a √n-bounded adversary: O(log n) rounds, n−O(√n) agree.
+
+Paper artifact: Theorem 10 (and, via the exact chain, Lemmas 11/12 regimes).
+
+What we measure: almost-stable rounds of the majority/median rule from the
+perfectly balanced two-bin state against the balancing adversary
+(T = 0.25·√n), across a ladder of n; plus the final agreement level.  Shape
+assertions: all runs converge, final agreement is at least n − 8√n, the
+growth is logarithmic, and the exact Markov chain (no adversary) confirms
+the log-like growth of the expected absorption time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.strategies import BalancingAdversary
+from repro.analysis.markov import expected_absorption_time
+from repro.analysis.statistics import compare_predictors
+from repro.core.state import Configuration
+from repro.engine.batch import run_batch
+from repro.engine.vectorized import simulate
+
+from _bench_utils import BENCH_RUNS, BENCH_SCALE, run_once
+
+
+def _measure(ns, runs):
+    rows = []
+    for n in ns:
+        budget = max(1, int(0.25 * np.sqrt(n)))
+        batch = run_batch(
+            Configuration.two_bins(n, minority=n // 2),
+            num_runs=runs,
+            adversary_factory=lambda b=budget: BalancingAdversary(budget=b),
+            seed=505 + n,
+            max_rounds=1500,
+        )
+        res = simulate(Configuration.two_bins(n, minority=n // 2),
+                       adversary=BalancingAdversary(budget=budget),
+                       seed=9999 + n, max_rounds=1500)
+        rows.append({
+            "n": n, "T": budget,
+            "mean_rounds": batch.mean_rounds,
+            "converged": batch.convergence_fraction,
+            "final_agreement": res.final.agreement_fraction(),
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="theorem10")
+def test_theorem10_two_bins_with_adversary(benchmark):
+    base = (256, 1024, 4096)
+    ns = [max(128, int(n * BENCH_SCALE)) for n in base]
+    rows = run_once(benchmark, _measure, ns, BENCH_RUNS)
+
+    print("\n=== Theorem 10: balanced two bins vs balancing adversary (T=0.25*sqrt n) ===")
+    for row in rows:
+        print(f"  n={row['n']:6d} T={row['T']:3d}  mean rounds={row['mean_rounds']:7.2f}  "
+              f"final agreement={row['final_agreement']:.4f}")
+        assert row["converged"] == 1.0
+        assert row["final_agreement"] >= 1.0 - 8 * np.sqrt(row["n"]) / row["n"]
+
+    fits = compare_predictors([r["n"] for r in rows], [2] * len(rows),
+                              [r["mean_rounds"] for r in rows],
+                              ["log_n", "sqrt_n", "linear_n"])
+    print("  best-fit predictor:", fits[0].predictor_name)
+    assert fits[0].predictor_name == "log_n"
+
+
+@pytest.mark.benchmark(group="theorem10")
+def test_theorem10_exact_chain_cross_check(benchmark):
+    """Exact expected absorption times of the adversary-free two-bin chain."""
+    ns = (16, 32, 64, 128)
+
+    def _exact():
+        return [expected_absorption_time(n, n // 2) for n in ns]
+
+    times = run_once(benchmark, _exact)
+    print("\n=== Exact two-bin chain: E[rounds to consensus] from the balanced state ===")
+    for n, t in zip(ns, times):
+        print(f"  n={n:4d}   E[T]={t:7.3f}   E[T]/log2(n)={t / np.log2(n):.3f}")
+    ratios = [b / a for a, b in zip(times, times[1:])]
+    # doubling n multiplies the expected time by much less than 2 (log growth)
+    assert all(r < 1.6 for r in ratios)

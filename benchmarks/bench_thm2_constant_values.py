@@ -1,0 +1,50 @@
+"""THM2 — Theorem 2: constant number of values + √n-bounded adversary, O(log n).
+
+Paper artifact: Theorem 2 (any initial state with a constant number of
+different values; T ≤ √n).
+
+What we measure: almost-stable-consensus round of the median rule against a
+balancing adversary with T = 0.25·√n (see DESIGN.md on the constant) for a
+ladder of n at several constant m.  Shape assertions: every cell converges
+and the rounds grow like log n, not like a power of n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+from repro.experiments.runner import run_sweep
+from repro.experiments.sweep import theorem2_sweep
+
+from _bench_utils import BENCH_RUNS, BENCH_SCALE, run_once
+
+
+@pytest.mark.benchmark(group="theorem2")
+def test_theorem2_constant_m_with_adversary(benchmark):
+    base = (256, 1024, 4096)
+    ns = tuple(max(128, int(n * BENCH_SCALE)) for n in base)
+    sweep = theorem2_sweep(ns=ns, ms=(2, 4), num_runs=BENCH_RUNS, seed=202)
+    report = run_once(benchmark, run_sweep, sweep)
+
+    print("\n=== Theorem 2: almost-stable rounds, constant m, balancing adversary ===")
+    for cell in report.cells:
+        print(f"  {cell.config.name:24s} mean={cell.mean_rounds:7.2f} "
+              f"converged={cell.convergence_fraction:.2f}")
+        assert cell.convergence_fraction == 1.0
+
+    # Shape check: rounds grow far more slowly than any power of n.  (The
+    # adversarial waiting time is noisy at small run counts, so we assert a
+    # robust ratio bound rather than a regression winner: multiplying n by
+    # n_max/n_min must multiply the rounds by far less than sqrt(n_max/n_min).)
+    by_n = {}
+    for cell in report.cells:
+        by_n.setdefault(cell.n, []).append(cell.mean_rounds)
+    ns_sorted = sorted(by_n)
+    small, large = np.mean(by_n[ns_sorted[0]]), np.mean(by_n[ns_sorted[-1]])
+    size_ratio = ns_sorted[-1] / ns_sorted[0]
+    print(f"  rounds({ns_sorted[-1]}) / rounds({ns_sorted[0]}) = {large / small:.2f} "
+          f"(sqrt of size ratio = {np.sqrt(size_ratio):.2f})")
+    assert large / small < 0.75 * np.sqrt(size_ratio), (
+        "convergence rounds grow polynomially in n — contradicts Theorem 2")

@@ -1,0 +1,63 @@
+"""THM3 — Theorem 3: m values + √n-bounded adversary, O(log m·log log n + log n).
+
+Paper artifact: Theorem 3 / Theorem 20.
+
+What we measure: (a) rounds vs m at fixed n, and (b) rounds vs n at fixed m,
+with a balancing adversary at T = 0.25·√n.  Shape assertions: every cell
+converges; the m-dependence is sub-linear (multiplying m by 32 multiplies
+rounds by far less); the n-dependence is logarithmic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+from repro.experiments.runner import run_sweep
+from repro.experiments.sweep import theorem3_sweep
+
+from _bench_utils import BENCH_RUNS, BENCH_SCALE, run_once
+
+
+@pytest.mark.benchmark(group="theorem3")
+def test_theorem3_m_and_n_scaling(benchmark):
+    n_fixed = max(256, int(2048 * BENCH_SCALE))
+    ns = tuple(max(128, int(x * BENCH_SCALE)) for x in (512, 1024, 2048, 4096))
+    ms = (2, 8, 32, 64)
+    sweep = theorem3_sweep(n=n_fixed, ms=ms, ns=ns, m_for_n_sweep=16,
+                           num_runs=BENCH_RUNS, seed=303)
+    report = run_once(benchmark, run_sweep, sweep)
+
+    m_cells = [c for c in report.cells if c.config.name.startswith("m-sweep")]
+    n_cells = [c for c in report.cells if c.config.name.startswith("n-sweep")]
+
+    print("\n=== Theorem 3: rounds vs m (fixed n) ===")
+    for cell in m_cells:
+        print(f"  m={cell.m:4d}  mean rounds={cell.mean_rounds:7.2f}")
+        assert cell.convergence_fraction == 1.0
+    print("=== Theorem 3: rounds vs n (fixed m) ===")
+    for cell in n_cells:
+        print(f"  n={cell.n:6d}  mean rounds={cell.mean_rounds:7.2f}")
+        assert cell.convergence_fraction == 1.0
+
+    # m-dependence: going from m=2 to m=64 should cost far less than 32x
+    m_rounds = {c.m: c.mean_rounds for c in m_cells}
+    assert m_rounds[max(m_rounds)] < 6 * m_rounds[min(m_rounds)] + 20
+
+    # n-dependence at fixed m: far below polynomial growth.  (Adversarial
+    # waiting times are noisy at small run counts, so assert a robust ratio
+    # bound instead of a regression winner.)
+    n_rounds = {c.n: c.mean_rounds for c in n_cells}
+    ns_sorted = sorted(n_rounds)
+    size_ratio = ns_sorted[-1] / ns_sorted[0]
+    growth = n_rounds[ns_sorted[-1]] / n_rounds[ns_sorted[0]]
+    print(f"  n-sweep growth factor {growth:.2f} over a {size_ratio:.0f}x size increase "
+          f"(sqrt bound {np.sqrt(size_ratio):.2f})")
+    assert growth < 0.75 * np.sqrt(size_ratio), (
+        "convergence rounds grow polynomially in n — contradicts Theorem 3")
+
+    # the paper's combined predictor at these sizes predicts a narrow range of
+    # rounds across all cells; confirm the spread of measured means is small
+    all_means = [c.mean_rounds for c in report.cells]
+    assert max(all_means) < 4 * min(all_means) + 20

@@ -1,0 +1,50 @@
+"""THM4/THM21/COR22 — average case: odd m beats even m.
+
+Paper artifact: Theorem 4, Theorem 21, Corollary 22 (uniform random initial
+assignment to m bins: O(log m + log log n) rounds for odd m, Θ(log n) for
+even m, with or without a √n-bounded adversary).
+
+What we measure: mean convergence rounds for interleaved odd/even m at a
+fixed n, with and without the balancing adversary.  Shape assertions: every
+cell converges, and the average over odd m is smaller than the average over
+even m in both settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_sweep
+from repro.experiments.sweep import theorem4_sweep
+
+from _bench_utils import BENCH_RUNS, BENCH_SCALE, run_once
+
+
+def _run_both(n, ms, runs):
+    no_adv = run_sweep(theorem4_sweep(n=n, ms=ms, with_adversary=False,
+                                      num_runs=runs, seed=404))
+    with_adv = run_sweep(theorem4_sweep(n=n, ms=ms, with_adversary=True,
+                                        num_runs=runs, seed=405))
+    return no_adv, with_adv
+
+
+@pytest.mark.benchmark(group="theorem4")
+def test_theorem4_odd_even_average_case(benchmark):
+    n = max(512, int(4096 * BENCH_SCALE))
+    ms = (4, 5, 8, 9, 16, 17)
+    runs = max(BENCH_RUNS, 5)
+    no_adv, with_adv = run_once(benchmark, _run_both, n, ms, runs)
+
+    for label, report in (("without adversary", no_adv), ("with adversary", with_adv)):
+        print(f"\n=== Theorem 4 / 21 / Cor 22: average case {label}, n={n} ===")
+        odd, even = [], []
+        for cell in report.cells:
+            parity = "odd" if cell.m % 2 else "even"
+            print(f"  m={cell.m:3d} ({parity:4s})  mean rounds={cell.mean_rounds:7.2f}")
+            assert cell.convergence_fraction == 1.0
+            (odd if cell.m % 2 else even).append(cell.mean_rounds)
+        print(f"  mean over odd m:  {np.mean(odd):.2f}")
+        print(f"  mean over even m: {np.mean(even):.2f}")
+        # the paper's split: odd m is strictly easier than even m
+        assert np.mean(odd) < np.mean(even), f"odd m not faster than even m ({label})"

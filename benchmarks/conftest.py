@@ -1,0 +1,36 @@
+"""Pytest configuration for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a Figure-1 cell, a
+theorem's data series, a lemma's drift curve) at a laptop-friendly scale and
+asserts the *shape* finding the paper claims (who wins, how the rounds grow).
+Raw tables are printed, so ``pytest benchmarks/ --benchmark-only -s`` doubles
+as the data source for EXPERIMENTS.md.
+
+Problem sizes and run counts are controlled by the environment variables
+``REPRO_BENCH_SCALE`` (default 0.5) and ``REPRO_BENCH_RUNS`` (default 5); see
+``benchmarks/_bench_utils.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# make `import _bench_utils` work regardless of how pytest was invoked
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _bench_utils import BENCH_RUNS, BENCH_SCALE  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Problem-size scale factor shared by all benchmarks."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_runs() -> int:
+    """Monte-Carlo runs per experiment cell."""
+    return BENCH_RUNS

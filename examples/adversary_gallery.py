@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Adversary gallery: how the median rule fares against every attack strategy.
+
+The paper proves the median rule withstands *any* T-bounded adversary with
+T ≤ √n.  This example makes that concrete: it pits the rule against every
+strategy shipped in :mod:`repro.adversary.strategies` — balancing, reviving,
+hiding, switching, random noise, targeted-median and sticky Byzantine nodes —
+from the hardest initial state (two perfectly balanced camps), and reports
+the stabilization round and the residual disagreement for each.
+
+It also shows the flip side: what happens when the adversary is allowed to
+exceed the √n budget (the tightness discussion after Theorem 2).
+
+Run:  python examples/adversary_gallery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.adversary.strategies import ADVERSARY_REGISTRY, make_adversary
+
+
+def face_off(n: int, strategy: str, budget: int, seed: int, horizon: int = 1000):
+    """Run the median rule against one adversary strategy from the balanced state."""
+    initial = repro.Configuration.two_bins(n, minority=n // 2)
+    adversary = make_adversary(strategy, budget=budget)
+    result = repro.simulate(initial, adversary=adversary, seed=seed, max_rounds=horizon)
+    return result, adversary
+
+
+def main() -> None:
+    n = 2048
+    budget = max(1, int(0.25 * np.sqrt(n)))
+    seed = 31
+
+    print(f"median rule, n={n}, balanced two-camp start, adversary budget T={budget}\n")
+    print(f"{'strategy':18s} {'stabilized':>10s} {'round':>7s} {'agreement':>10s} "
+          f"{'adversary writes':>17s}")
+
+    for strategy in sorted(ADVERSARY_REGISTRY):
+        if strategy == "null":
+            continue
+        result, adversary = face_off(n, strategy, budget, seed)
+        round_s = str(result.almost_stable_round) if result.reached_almost_stable else "-"
+        print(f"{strategy:18s} {str(result.reached_almost_stable):>10s} {round_s:>7s} "
+              f"{result.final_agreement_fraction:10.3%} {adversary.ledger.total:17d}")
+
+    print("\nEvery T <= sqrt(n) strategy is absorbed: the system reaches a state where all")
+    print("but O(T) processes agree and keeps renewing that agreement every round.\n")
+
+    print("--- exceeding the budget: balancing adversary with T = c*sqrt(n) ---")
+    horizon = 600
+    for c in (0.25, 0.5, 1.0, 4.0):
+        big_budget = int(c * np.sqrt(n))
+        result, _ = face_off(n, "balancing", big_budget, seed, horizon=horizon)
+        status = (f"stabilized at round {result.almost_stable_round}"
+                  if result.reached_almost_stable
+                  else f"NOT stabilized within {horizon} rounds "
+                       f"(agreement {result.final_agreement_fraction:.2%})")
+        print(f"  T = {big_budget:4d} (c={c:4.2f}):  {status}")
+    print("\nAs c grows past ~1 the balancing adversary can hold the two camps level for a")
+    print("very long time — the sqrt(n) bound of Theorems 2/3 is essentially tight.")
+
+
+if __name__ == "__main__":
+    main()

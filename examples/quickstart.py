@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: run the median rule once, with and without an adversary.
+
+This script is the five-minute tour of the library:
+
+1. build an initial configuration (every process proposes its own value),
+2. run the median rule with the vectorized engine and watch it converge in
+   O(log n) rounds,
+3. run the same protocol through the agent-level message-passing simulator
+   (explicit requests/responses, per-round contact caps) and compare,
+4. turn on a sqrt(n)-bounded balancing adversary and observe an *almost*
+   stable consensus: all but O(T) processes agree, and stay agreed.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.network import NetworkSimulator
+
+
+def main() -> None:
+    n = 1024
+    seed = 7
+
+    # ------------------------------------------------------------------ #
+    # 1. worst-case initial state: every process proposes a distinct value
+    # ------------------------------------------------------------------ #
+    initial = repro.Configuration.all_distinct(n)
+    print(f"n = {n} processes, {initial.num_values} distinct initial values")
+
+    # ------------------------------------------------------------------ #
+    # 2. vectorized engine, no adversary
+    # ------------------------------------------------------------------ #
+    result = repro.simulate(initial, rule=repro.MedianRule(), seed=seed)
+    print("\n--- median rule, no adversary (vectorized engine) ---")
+    print(f"consensus reached : {result.reached_consensus}")
+    print(f"consensus round   : {result.consensus_round}  "
+          f"(log2(n) = {np.log2(n):.1f})")
+    print(f"winning value     : {result.winning_value}")
+    support = result.trajectory.support_series()
+    print(f"distinct values over time: {support[:10].tolist()} ... {support[-3:].tolist()}")
+
+    # ------------------------------------------------------------------ #
+    # 3. the same protocol through the message-passing simulator
+    # ------------------------------------------------------------------ #
+    sim = NetworkSimulator(repro.Configuration.all_distinct(256), seed=seed)
+    net_result = sim.run()
+    print("\n--- median rule on the agent-level message-passing substrate (n=256) ---")
+    print(f"consensus round   : {net_result.consensus_round}")
+    print(f"messages sent     : {net_result.meta['messages']['total_messages']}")
+    print(f"requests dropped  : {net_result.meta['messages']['requests_dropped']} "
+          f"(per-round cap = Theta(log n))")
+
+    # ------------------------------------------------------------------ #
+    # 4. a sqrt(n)-bounded adversary trying to keep two camps balanced
+    # ------------------------------------------------------------------ #
+    budget = max(1, int(0.25 * np.sqrt(n)))
+    adversary = repro.BalancingAdversary(budget=budget)
+    balanced = repro.Configuration.two_bins(n, minority=n // 2)
+    adv_result = repro.simulate(balanced, adversary=adversary, seed=seed, max_rounds=800)
+    print(f"\n--- median rule vs balancing adversary (T = {budget}) ---")
+    print(f"almost-stable consensus reached : {adv_result.reached_almost_stable}")
+    print(f"stabilization round             : {adv_result.almost_stable_round}")
+    print(f"final agreement                 : {adv_result.final_agreement_fraction:.4f} "
+          f"(paper guarantees all but O(T) of n)")
+    print(f"adversary writes used           : {adversary.ledger.total} "
+          f"(budget respected: {adversary.ledger.verify()})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Replicated-state consolidation under ongoing corruption.
+
+The paper's introduction motivates stabilizing consensus with "the
+consolidation of replicated states or information": a fleet of replicas holds
+versions of a state (here: integer snapshot ids), most replicas are current,
+a minority are stale, and a bounded attacker keeps flipping a few replicas
+every round.  A good consolidation rule must (a) converge to one of the
+*existing* snapshot ids (never invent one), (b) do so in a logarithmic number
+of gossip rounds, and (c) settle on the version the healthy majority holds —
+not on whatever a single corrupted replica keeps advertising.
+
+This example compares three consolidation rules on that workload:
+
+* the **median rule** (the paper's contribution): sticks with the majority
+  snapshot, absorbing the attacker's writes;
+* the **minimum rule** ("repair to the oldest common version"): is hijacked —
+  the stale snapshot advertised by a few corrupted replicas spreads to the
+  whole fleet, exactly the Section 1.1 counterexample;
+* the **mean rule** (average the ids): agrees on a snapshot id that no
+  replica ever held, which is useless for state consolidation.
+
+Run:  python examples/replicated_state_consolidation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+# Sparse snapshot ids as they would come out of a content-addressed store:
+# arbitrary integers, not consecutive.  The last one is the current version,
+# the first one is an ancient stale version still sitting on a few replicas.
+SNAPSHOT_IDS = np.array([1047, 2311, 4099, 5608, 7919, 9973], dtype=np.int64)
+STALE_ID = int(SNAPSHOT_IDS[0])
+CURRENT_ID = int(SNAPSHOT_IDS[-1])
+
+
+def build_fleet(n: int, bias: float, stale_replicas: int,
+                rng: np.random.Generator) -> repro.Configuration:
+    """Most replicas on the current snapshot, the rest scattered, a few stale."""
+    mid_ids = SNAPSHOT_IDS[1:-1]
+    values = rng.choice(mid_ids, size=n).astype(np.int64)
+    on_current = rng.random(n) < bias
+    values[on_current] = CURRENT_ID
+    values[:stale_replicas] = STALE_ID
+    return repro.Configuration.from_values(values)
+
+
+def consolidate(rule: repro.Rule, initial: repro.Configuration,
+                adversary_budget: int, seed: int) -> repro.SimulationResult:
+    """Run one consolidation under an attacker that keeps restoring the stale id."""
+    adversary = repro.RevivingAdversary(budget=adversary_budget, delay=10,
+                                        target_value=STALE_ID)
+    return repro.simulate(initial, rule=rule, adversary=adversary, seed=seed,
+                          max_rounds=400, run_to_horizon=True)
+
+
+def main() -> None:
+    n = 2048                      # replicas
+    bias = 0.55                   # fraction of replicas already on the current snapshot
+    stale_replicas = 3            # replicas still holding the ancient snapshot
+    adversary_budget = 4          # replicas the attacker can rewrite per round
+    seed = 11
+
+    rng = np.random.default_rng(seed)
+    initial = build_fleet(n, bias, stale_replicas, rng)
+
+    print(f"fleet of {n} replicas, snapshot ids present: {initial.support.tolist()}")
+    print(f"current snapshot {CURRENT_ID}: {initial.count_value(CURRENT_ID) / n:.2%} of the fleet")
+    print(f"stale snapshot   {STALE_ID}: {initial.count_value(STALE_ID)} replicas")
+    print(f"attacker rewrites up to {adversary_budget} replicas/round back to {STALE_ID}\n")
+
+    rules = {
+        "median rule (paper)": repro.MedianRule(),
+        "minimum rule": repro.MinimumRule(),
+        "mean rule": repro.MeanRule(),
+    }
+
+    print(f"{'rule':22s} {'agreed id':>10s} {'agreement':>10s} {'real id?':>9s} "
+          f"{'current?':>9s}")
+    for label, rule in rules.items():
+        result = consolidate(rule, initial, adversary_budget, seed)
+        final = result.final
+        winner = final.majority_value()
+        agreement = final.agreement_fraction()
+        is_real = winner in set(SNAPSHOT_IDS.tolist())
+        is_current = winner == CURRENT_ID
+        print(f"{label:22s} {winner:10d} {agreement:10.2%} {str(is_real):>9s} "
+              f"{str(is_current):>9s}")
+
+    print(
+        "\nReading the table:\n"
+        f"  * the median rule keeps the fleet on the current snapshot {CURRENT_ID} with all\n"
+        "    but O(T) replicas agreeing — an almost stable consensus;\n"
+        f"  * the minimum rule is hijacked by the stale snapshot {STALE_ID} that a handful of\n"
+        "    corrupted replicas keep advertising (the Section 1.1 counterexample);\n"
+        "  * the mean rule settles on a snapshot id no replica ever held."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Self-stabilizing clock/epoch agreement in an anonymous sensor swarm.
+
+A swarm of anonymous sensors must agree on a common epoch counter (an
+integer) so their duty cycles line up.  Sensors cannot carry identities
+(they are interchangeable and cheap), radio contention limits each node to a
+couple of exchanges per round, and a handful of nodes are flaky: they reboot
+into arbitrary epochs or are actively spoofed.  This is exactly the paper's
+model — anonymous complete network, O(log n) contacts per round, T-bounded
+adversary — so the median rule applies off the shelf.
+
+The example demonstrates:
+
+* agreement from a *completely arbitrary* starting state (self-stabilization:
+  every sensor boots with its own epoch guess);
+* resilience to a switching adversary that keeps flipping a few sensors
+  between the extreme epochs;
+* how the time to agreement scales as the swarm grows (log-like), using the
+  experiment harness and a scaling fit.
+
+Run:  python examples/sensor_clock_sync.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis.statistics import fit_scaling
+from repro.engine.batch import run_batch
+
+
+def agreement_demo() -> None:
+    n = 4096
+    seed = 23
+    rng = np.random.default_rng(seed)
+
+    # every sensor boots with an arbitrary epoch guess in [0, 10^6)
+    epochs = rng.integers(0, 1_000_000, size=n)
+    initial = repro.Configuration.from_values(epochs)
+
+    budget = max(1, int(0.2 * np.sqrt(n)))
+    adversary = repro.SwitchingAdversary(budget=budget)
+    result = repro.simulate(initial, adversary=adversary, seed=seed, max_rounds=800)
+
+    print(f"--- swarm of {n} sensors, arbitrary boot epochs, "
+          f"switching adversary (T={budget}) ---")
+    print(f"almost-stable agreement reached : {result.reached_almost_stable}")
+    print(f"round of stabilization          : {result.almost_stable_round}")
+    print(f"agreed epoch                    : {result.winning_value} "
+          f"(one of the boot epochs: "
+          f"{result.winning_value in set(initial.values.tolist())})")
+    print(f"sensors in agreement            : {result.final_agreement_fraction:.3%}\n")
+
+
+def scaling_demo() -> None:
+    print("--- time to agreement vs swarm size (no adversary, 10 runs per size) ---")
+    sizes = [256, 512, 1024, 2048, 4096]
+    means = []
+    for n in sizes:
+        def boot(rng: np.random.Generator) -> repro.Configuration:
+            return repro.Configuration.from_values(rng.integers(0, 1_000_000, size=n))
+
+        batch = run_batch(boot, num_runs=10, seed=1000 + n)
+        means.append(batch.mean_rounds)
+        print(f"  n={n:5d}   mean rounds to consensus = {batch.mean_rounds:6.2f}   "
+              f"rounds / log2(n) = {batch.mean_rounds / np.log2(n):.2f}")
+
+    fit = fit_scaling(sizes, [2] * len(sizes), means, "log_n")
+    print(f"\nfit: rounds ≈ {fit.slope:.2f} · log2(n) + {fit.intercept:.2f} "
+          f"(R² = {fit.r_squared:.3f})")
+    print("doubling the swarm adds a roughly constant number of gossip rounds —\n"
+        "the O(log n) behaviour of Theorem 1.")
+
+
+def main() -> None:
+    agreement_demo()
+    scaling_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works in offline environments whose
+setuptools predates PEP 660 editable wheels (and where the ``wheel`` package
+is unavailable): pip falls back to the legacy ``setup.py develop`` path.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

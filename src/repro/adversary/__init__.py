@@ -1,0 +1,32 @@
+"""T-bounded adversary substrate (Section 1.1 adversarial model)."""
+
+from repro.adversary.base import Adversary, AdversaryTiming, Corruption, NullAdversary
+from repro.adversary.budget import BudgetLedger
+from repro.adversary.strategies import (
+    ADVERSARY_REGISTRY,
+    BalancingAdversary,
+    HidingAdversary,
+    RandomCorruptionAdversary,
+    RevivingAdversary,
+    StickyAdversary,
+    SwitchingAdversary,
+    TargetedMedianAdversary,
+    make_adversary,
+)
+
+__all__ = [
+    "Adversary",
+    "AdversaryTiming",
+    "Corruption",
+    "NullAdversary",
+    "BudgetLedger",
+    "ADVERSARY_REGISTRY",
+    "make_adversary",
+    "BalancingAdversary",
+    "RevivingAdversary",
+    "HidingAdversary",
+    "SwitchingAdversary",
+    "RandomCorruptionAdversary",
+    "TargetedMedianAdversary",
+    "StickyAdversary",
+]

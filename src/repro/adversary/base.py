@@ -1,0 +1,179 @@
+"""T-bounded adversary interface.
+
+The paper's adversarial model (Section 1.1):
+
+    A T-bounded adversary is allowed to know the entire history of the
+    protocol.  At the beginning of each round, it may decide to change the
+    state of up to T many of the processes in an arbitrary way subject to the
+    constraint that it can only change the value of a process to one out of
+    the initial set of values {v_1, ..., v_n}.
+
+Adversaries in this library receive the full current value vector (they are
+adaptive and omniscient about the state and history), the round number, the
+set of admissible values, and a per-round budget ``T``; they return a set of
+(process index, new value) writes.  :class:`Adversary.corrupt` enforces the
+budget and the value-set constraint regardless of what the strategy proposes,
+so no strategy can exceed the model even by accident; every application is
+also recorded in a :class:`~repro.adversary.budget.BudgetLedger` for auditing
+by tests and experiments.
+
+Section 3 additionally considers an adversary that acts *after* the random
+choices of the round (it "is allowed to change the choices of at most sqrt(n)
+balls").  Both placements are supported through the ``timing`` attribute and
+the simulators honour it; the ablation benchmark compares them.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.adversary.budget import BudgetLedger
+from repro.core.state import Configuration
+
+__all__ = ["AdversaryTiming", "Corruption", "Adversary", "NullAdversary"]
+
+
+class AdversaryTiming(enum.Enum):
+    """When in the round the adversary rewrites states.
+
+    ``BEFORE_SAMPLING`` is the model of Section 1.1 (state changed at the
+    beginning of the round, before processes draw their contacts);
+    ``AFTER_SAMPLING`` is the Section 3 variant (the adversary reacts to the
+    drawn choices).  Against an omniscient adversary the two are equally
+    strong for the strategies shipped here, which is verified empirically by
+    the ablation benchmark.
+    """
+
+    BEFORE_SAMPLING = "before-sampling"
+    AFTER_SAMPLING = "after-sampling"
+
+
+@dataclass(frozen=True)
+class Corruption:
+    """A batch of adversarial writes for one round."""
+
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        idx = np.asarray(self.indices, dtype=np.int64).ravel()
+        val = np.asarray(self.values, dtype=np.int64).ravel()
+        if idx.shape[0] != val.shape[0]:
+            raise ValueError("indices and values must have equal length")
+        object.__setattr__(self, "indices", idx)
+        object.__setattr__(self, "values", val)
+
+    @property
+    def count(self) -> int:
+        return int(self.indices.shape[0])
+
+    @classmethod
+    def empty(cls) -> "Corruption":
+        return cls(indices=np.empty(0, dtype=np.int64), values=np.empty(0, dtype=np.int64))
+
+
+class Adversary(abc.ABC):
+    """Base class for T-bounded adversaries.
+
+    Parameters
+    ----------
+    budget:
+        Maximum number of processes the adversary may rewrite per round
+        (the paper's ``T``).  ``0`` disables the adversary.
+    timing:
+        Whether the corruption happens before or after the round's sampling
+        step (see :class:`AdversaryTiming`).
+    """
+
+    def __init__(self, budget: int,
+                 timing: AdversaryTiming = AdversaryTiming.BEFORE_SAMPLING) -> None:
+        if budget < 0:
+            raise ValueError("adversary budget must be non-negative")
+        self.budget = int(budget)
+        self.timing = timing
+        self.ledger = BudgetLedger(budget=self.budget)
+
+    # ------------------------------------------------------------------ #
+    # strategy interface
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def propose(
+        self,
+        values: np.ndarray,
+        round_index: int,
+        admissible_values: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Corruption:
+        """Propose this round's writes.
+
+        Implementations may return more writes than the budget allows or
+        values outside the admissible set; :meth:`corrupt` clips and filters
+        the proposal so the T-bounded model is never violated.
+        """
+
+    # ------------------------------------------------------------------ #
+    # enforcement wrapper — the only entry point simulators call
+    # ------------------------------------------------------------------ #
+    def corrupt(
+        self,
+        values: np.ndarray,
+        round_index: int,
+        admissible_values: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Apply the (budget- and value-constrained) corruption for one round.
+
+        Returns a **new** value vector; the input is never mutated.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        admissible = np.unique(np.asarray(admissible_values, dtype=np.int64))
+        if self.budget == 0 or admissible.shape[0] == 0:
+            self.ledger.record(round_index, 0)
+            return np.array(values)
+
+        proposal = self.propose(values, round_index, admissible, rng)
+        idx = proposal.indices
+        val = proposal.values
+
+        if idx.shape[0]:
+            # Drop out-of-range indices and inadmissible values, then clip to
+            # the per-round budget (keeping the strategy's preferred order).
+            in_range = (idx >= 0) & (idx < values.shape[0])
+            admissible_mask = np.isin(val, admissible)
+            keep = in_range & admissible_mask
+            idx, val = idx[keep], val[keep]
+            # de-duplicate process indices, keeping the first write for each
+            _, first = np.unique(idx, return_index=True)
+            first.sort()
+            idx, val = idx[first], val[first]
+            if idx.shape[0] > self.budget:
+                idx, val = idx[: self.budget], val[: self.budget]
+
+        out = np.array(values)
+        if idx.shape[0]:
+            out[idx] = val
+        self.ledger.record(round_index, int(idx.shape[0]))
+        return out
+
+    def reset(self) -> None:
+        """Clear per-run internal state (ledger and any strategy memory)."""
+        self.ledger = BudgetLedger(budget=self.budget)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(budget={self.budget}, timing={self.timing.value})"
+
+
+class NullAdversary(Adversary):
+    """An adversary that never corrupts anything (the no-adversary baseline)."""
+
+    def __init__(self) -> None:
+        super().__init__(budget=0)
+
+    def propose(self, values: np.ndarray, round_index: int,
+                admissible_values: np.ndarray, rng: np.random.Generator) -> Corruption:
+        return Corruption.empty()

@@ -1,0 +1,275 @@
+"""Concrete T-bounded adversary strategies.
+
+Each strategy implements a counter-strategy discussed (or implied) by the
+paper:
+
+* :class:`BalancingAdversary` — tries to keep the two leading values in
+  perfect balance by moving processes from the leading value to the trailing
+  one.  This is the strategy behind the paper's remark that ``T = Ω~(sqrt n)``
+  would prevent stabilization ("the adversary could keep two groups of
+  processes with equal values in perfect balance").  With ``T ≤ sqrt(n)`` the
+  median rule beats it (Theorems 2, 3, 10).
+* :class:`RevivingAdversary` — re-introduces an extinct (usually extreme)
+  value; this is exactly the attack that breaks the minimum rule (Section
+  1.1) and that the median rule shrugs off.
+* :class:`HidingAdversary` — parks a reservoir of processes on a value and
+  keeps re-asserting it every round ("hiding values for an unbounded amount
+  of time", Section 1.2).
+* :class:`SwitchingAdversary` — alternates the corrupted processes between
+  the two extreme initial values each round ("switching values").
+* :class:`RandomCorruptionAdversary` — rewrites T uniformly random processes
+  to uniformly random admissible values (a noise baseline).
+* :class:`TargetedMedianAdversary` — always drags processes that currently
+  hold the median value to the farthest extreme, attacking the rule's pivot.
+* :class:`StickyAdversary` — picks T fixed victim processes once and pins
+  them to a fixed value forever (models Byzantine processes that simply never
+  update).
+
+All strategies only *propose*; :class:`~repro.adversary.base.Adversary`
+enforces the budget and the initial-value-set constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.adversary.base import Adversary, AdversaryTiming, Corruption
+
+__all__ = [
+    "BalancingAdversary",
+    "RevivingAdversary",
+    "HidingAdversary",
+    "SwitchingAdversary",
+    "RandomCorruptionAdversary",
+    "TargetedMedianAdversary",
+    "StickyAdversary",
+    "ADVERSARY_REGISTRY",
+    "make_adversary",
+]
+
+
+class BalancingAdversary(Adversary):
+    """Keep the top two values as balanced as possible.
+
+    Each round the strategy finds the two most loaded values, computes their
+    gap, and moves up to ``min(T, ceil(gap/2))`` processes from the leading
+    value to the trailing one.  When only one value remains it spends the
+    budget re-seeding the second-most-recent value (so a consensus can never
+    be *exact*, only almost stable — matching the paper's definition).
+    """
+
+    def __init__(self, budget: int,
+                 timing: AdversaryTiming = AdversaryTiming.BEFORE_SAMPLING) -> None:
+        super().__init__(budget=budget, timing=timing)
+        self._last_runner_up: Optional[int] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._last_runner_up = None
+
+    def propose(self, values: np.ndarray, round_index: int,
+                admissible_values: np.ndarray, rng: np.random.Generator) -> Corruption:
+        uniq, counts = np.unique(values, return_counts=True)
+        order = np.argsort(-counts, kind="stable")
+        leader = int(uniq[order[0]])
+
+        if uniq.shape[0] >= 2:
+            runner_up = int(uniq[order[1]])
+            self._last_runner_up = runner_up
+            gap = int(counts[order[0]]) - int(counts[order[1]])
+            want = min(self.budget, max((gap + 1) // 2, 0))
+        else:
+            # consensus reached: re-seed a different admissible value
+            others = admissible_values[admissible_values != leader]
+            if others.shape[0] == 0:
+                return Corruption.empty()
+            if self._last_runner_up is not None and self._last_runner_up in others:
+                runner_up = self._last_runner_up
+            else:
+                runner_up = int(others[0])
+            want = self.budget
+
+        if want <= 0:
+            return Corruption.empty()
+        leaders = np.flatnonzero(values == leader)
+        if leaders.shape[0] == 0:
+            return Corruption.empty()
+        victims = rng.choice(leaders, size=min(want, leaders.shape[0]), replace=False)
+        return Corruption(indices=victims,
+                          values=np.full(victims.shape[0], runner_up, dtype=np.int64))
+
+
+class RevivingAdversary(Adversary):
+    """Re-introduce an extinct value once agreement looks settled.
+
+    The strategy waits ``delay`` rounds, then every round flips up to ``T``
+    processes of the current plurality value to ``target_value`` (by default
+    the smallest admissible value — the one the minimum rule would
+    irreversibly chase).  Against the minimum rule one such write eventually
+    flips the whole system; against the median rule the write is absorbed.
+    """
+
+    def __init__(self, budget: int, delay: int = 0, target_value: Optional[int] = None,
+                 timing: AdversaryTiming = AdversaryTiming.BEFORE_SAMPLING) -> None:
+        super().__init__(budget=budget, timing=timing)
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = int(delay)
+        self.target_value = target_value
+
+    def propose(self, values: np.ndarray, round_index: int,
+                admissible_values: np.ndarray, rng: np.random.Generator) -> Corruption:
+        if round_index < self.delay:
+            return Corruption.empty()
+        target = int(admissible_values.min()) if self.target_value is None \
+            else int(self.target_value)
+        candidates = np.flatnonzero(values != target)
+        if candidates.shape[0] == 0:
+            return Corruption.empty()
+        victims = rng.choice(candidates, size=min(self.budget, candidates.shape[0]),
+                             replace=False)
+        return Corruption(indices=victims,
+                          values=np.full(victims.shape[0], target, dtype=np.int64))
+
+
+class HidingAdversary(Adversary):
+    """Maintain a hidden reservoir of processes pinned to a chosen value.
+
+    The same ``T`` victim processes are re-pinned every round to
+    ``hidden_value`` (default: the largest admissible value), modelling the
+    "hiding values for an unbounded amount of time" counter-strategy.
+    """
+
+    def __init__(self, budget: int, hidden_value: Optional[int] = None,
+                 timing: AdversaryTiming = AdversaryTiming.BEFORE_SAMPLING) -> None:
+        super().__init__(budget=budget, timing=timing)
+        self.hidden_value = hidden_value
+        self._victims: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._victims = None
+
+    def propose(self, values: np.ndarray, round_index: int,
+                admissible_values: np.ndarray, rng: np.random.Generator) -> Corruption:
+        target = int(admissible_values.max()) if self.hidden_value is None \
+            else int(self.hidden_value)
+        if self._victims is None or self._victims.shape[0] != min(self.budget, values.shape[0]):
+            self._victims = rng.choice(values.shape[0],
+                                       size=min(self.budget, values.shape[0]),
+                                       replace=False)
+        return Corruption(indices=self._victims,
+                          values=np.full(self._victims.shape[0], target, dtype=np.int64))
+
+
+class SwitchingAdversary(Adversary):
+    """Alternate corrupted processes between the two extreme initial values.
+
+    On even rounds the victims are written to the smallest admissible value,
+    on odd rounds to the largest ("switching values" of Section 1.2).  Fresh
+    victims are drawn every round.
+    """
+
+    def propose(self, values: np.ndarray, round_index: int,
+                admissible_values: np.ndarray, rng: np.random.Generator) -> Corruption:
+        target = int(admissible_values.min()) if round_index % 2 == 0 \
+            else int(admissible_values.max())
+        victims = rng.choice(values.shape[0], size=min(self.budget, values.shape[0]),
+                             replace=False)
+        return Corruption(indices=victims,
+                          values=np.full(victims.shape[0], target, dtype=np.int64))
+
+
+class RandomCorruptionAdversary(Adversary):
+    """Rewrite T uniformly random processes to uniformly random admissible values."""
+
+    def propose(self, values: np.ndarray, round_index: int,
+                admissible_values: np.ndarray, rng: np.random.Generator) -> Corruption:
+        victims = rng.choice(values.shape[0], size=min(self.budget, values.shape[0]),
+                             replace=False)
+        new_vals = rng.choice(admissible_values, size=victims.shape[0], replace=True)
+        return Corruption(indices=victims, values=new_vals)
+
+
+class TargetedMedianAdversary(Adversary):
+    """Attack the pivot: push processes holding the current median value outward.
+
+    Every round the strategy identifies the median value of the current
+    configuration and rewrites up to T of its holders to whichever admissible
+    extreme (min or max) is farther from the median, trying to destabilize
+    the quantity the rule converges around.
+    """
+
+    def propose(self, values: np.ndarray, round_index: int,
+                admissible_values: np.ndarray, rng: np.random.Generator) -> Corruption:
+        median_val = int(np.sort(values)[(values.shape[0] - 1) // 2])
+        lo, hi = int(admissible_values.min()), int(admissible_values.max())
+        target = hi if (hi - median_val) >= (median_val - lo) else lo
+        holders = np.flatnonzero(values == median_val)
+        if holders.shape[0] == 0:
+            holders = np.arange(values.shape[0])
+        victims = rng.choice(holders, size=min(self.budget, holders.shape[0]), replace=False)
+        return Corruption(indices=victims,
+                          values=np.full(victims.shape[0], target, dtype=np.int64))
+
+
+class StickyAdversary(Adversary):
+    """T fixed Byzantine processes that never update and always assert one value.
+
+    Victims are chosen once (uniformly at random) on the first round and then
+    pinned to ``pinned_value`` (default: the largest admissible value) in
+    every round.  This models crash-into-stuck / classic Byzantine behaviour
+    rather than an adaptive attacker.
+    """
+
+    def __init__(self, budget: int, pinned_value: Optional[int] = None,
+                 timing: AdversaryTiming = AdversaryTiming.BEFORE_SAMPLING) -> None:
+        super().__init__(budget=budget, timing=timing)
+        self.pinned_value = pinned_value
+        self._victims: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._victims = None
+
+    def propose(self, values: np.ndarray, round_index: int,
+                admissible_values: np.ndarray, rng: np.random.Generator) -> Corruption:
+        target = int(admissible_values.max()) if self.pinned_value is None \
+            else int(self.pinned_value)
+        if self._victims is None:
+            self._victims = rng.choice(values.shape[0],
+                                       size=min(self.budget, values.shape[0]),
+                                       replace=False)
+        return Corruption(indices=self._victims,
+                          values=np.full(self._victims.shape[0], target, dtype=np.int64))
+
+
+#: Registry of adversary strategies by name (for experiment configuration).
+ADVERSARY_REGISTRY = {
+    "null": None,  # handled specially by make_adversary
+    "balancing": BalancingAdversary,
+    "reviving": RevivingAdversary,
+    "hiding": HidingAdversary,
+    "switching": SwitchingAdversary,
+    "random": RandomCorruptionAdversary,
+    "targeted-median": TargetedMedianAdversary,
+    "sticky": StickyAdversary,
+}
+
+
+def make_adversary(name: str, budget: int = 0, **kwargs) -> Adversary:
+    """Instantiate an adversary by registry name.
+
+    ``make_adversary("null")`` (or any name with ``budget=0``) returns a
+    :class:`~repro.adversary.base.NullAdversary`.
+    """
+    from repro.adversary.base import NullAdversary
+
+    if name not in ADVERSARY_REGISTRY:
+        raise KeyError(f"unknown adversary {name!r}; available: {sorted(ADVERSARY_REGISTRY)}")
+    if name == "null" or budget == 0:
+        return NullAdversary()
+    cls = ADVERSARY_REGISTRY[name]
+    return cls(budget=budget, **kwargs)

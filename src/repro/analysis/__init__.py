@@ -1,0 +1,139 @@
+"""Analytical substrate: tail bounds, exact chains, drift formulas, scaling fits."""
+
+from repro.analysis.chernoff import (
+    chernoff_exponential_tail_sum,
+    chernoff_geometric_sum,
+    chernoff_lower_bernoulli,
+    chernoff_lower_bernoulli_exact,
+    chernoff_upper_bernoulli,
+    chernoff_upper_bernoulli_exact,
+    hoeffding_bound,
+)
+from repro.analysis.clt import (
+    gaussian_tail_bounds,
+    imbalance_std_after_balanced_round,
+    lemma14_asymptotic_probability,
+    lemma14_lower_bound,
+    simulate_balanced_round_imbalance,
+)
+from repro.analysis.drift import (
+    DriftObservation,
+    expected_imbalance_next,
+    expected_minority_next,
+    lemma11_quadratic_bound,
+    lemma12_contraction_factor,
+    lemma15_growth_factor,
+    measure_empirical_drift,
+)
+from repro.analysis.meanfield import (
+    MeanFieldTrajectory,
+    cdf_map,
+    compare_with_simulation,
+    fixed_points,
+    iterate_fractions,
+    predict_convergence_rounds,
+    step_fractions,
+)
+from repro.analysis.markov import (
+    TwoBinChain,
+    absorption_probabilities,
+    consensus_time_distribution,
+    expected_absorption_time,
+    two_bin_transition_matrix,
+    verify_growth_condition,
+)
+from repro.analysis.phases import (
+    PhaseRecord,
+    candidate_window,
+    detect_phases,
+    expected_phase_count,
+)
+from repro.analysis.statistics import (
+    RoundsSummary,
+    ScalingFit,
+    compare_predictors,
+    empirical_success_probability,
+    fit_scaling,
+    growth_ratio,
+    summarize_rounds,
+)
+from repro.analysis.theory import (
+    PREDICTORS,
+    Predictor,
+    adversary_budget_sqrt_n,
+    heavy_set_size,
+    phase_count,
+    predictor_for,
+    theorem1_predictor,
+    theorem3_predictor,
+    theorem4_predictor,
+    theorem10_predictor,
+    theorem20_predictor,
+    theorem21_predictor,
+)
+
+__all__ = [
+    # chernoff
+    "chernoff_upper_bernoulli",
+    "chernoff_upper_bernoulli_exact",
+    "chernoff_lower_bernoulli",
+    "chernoff_lower_bernoulli_exact",
+    "chernoff_geometric_sum",
+    "chernoff_exponential_tail_sum",
+    "hoeffding_bound",
+    # clt
+    "imbalance_std_after_balanced_round",
+    "lemma14_lower_bound",
+    "lemma14_asymptotic_probability",
+    "gaussian_tail_bounds",
+    "simulate_balanced_round_imbalance",
+    # drift
+    "expected_minority_next",
+    "expected_imbalance_next",
+    "lemma12_contraction_factor",
+    "lemma11_quadratic_bound",
+    "lemma15_growth_factor",
+    "DriftObservation",
+    "measure_empirical_drift",
+    # meanfield
+    "cdf_map",
+    "step_fractions",
+    "iterate_fractions",
+    "MeanFieldTrajectory",
+    "predict_convergence_rounds",
+    "fixed_points",
+    "compare_with_simulation",
+    # markov
+    "two_bin_transition_matrix",
+    "TwoBinChain",
+    "absorption_probabilities",
+    "expected_absorption_time",
+    "consensus_time_distribution",
+    "verify_growth_condition",
+    # phases
+    "candidate_window",
+    "PhaseRecord",
+    "detect_phases",
+    "expected_phase_count",
+    # statistics
+    "RoundsSummary",
+    "summarize_rounds",
+    "ScalingFit",
+    "fit_scaling",
+    "compare_predictors",
+    "growth_ratio",
+    "empirical_success_probability",
+    # theory
+    "PREDICTORS",
+    "Predictor",
+    "predictor_for",
+    "theorem1_predictor",
+    "theorem3_predictor",
+    "theorem4_predictor",
+    "theorem10_predictor",
+    "theorem20_predictor",
+    "theorem21_predictor",
+    "adversary_budget_sqrt_n",
+    "phase_count",
+    "heavy_set_size",
+]

@@ -1,0 +1,124 @@
+"""Probabilistic toolkit of Section 2.2: Chernoff-type tail bounds.
+
+These are the exact bounds stated as Lemmas 5–7 of the paper.  They are used
+in two ways by the reproduction:
+
+* the drift/phase analyses (:mod:`repro.analysis.drift`,
+  :mod:`repro.analysis.theory`) evaluate them to produce the failure
+  probabilities the proofs quote, and
+* the test-suite checks them *empirically*: simulated tail frequencies never
+  exceed the bound (up to Monte-Carlo noise), and the bounds are internally
+  consistent (monotone in their parameters, at most 1, etc.).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "chernoff_upper_bernoulli",
+    "chernoff_lower_bernoulli",
+    "chernoff_upper_bernoulli_exact",
+    "chernoff_lower_bernoulli_exact",
+    "chernoff_geometric_sum",
+    "chernoff_exponential_tail_sum",
+    "hoeffding_bound",
+]
+
+
+def chernoff_upper_bernoulli(mu: float, delta: float) -> float:
+    """Lemma 5 (upper tail, simplified form): ``P[X ≥ (1+δ)μ] ≤ exp(-min(δ², δ)·μ/3)``.
+
+    Parameters
+    ----------
+    mu:
+        Mean of the sum of independent Bernoulli variables.
+    delta:
+        Relative deviation, ``δ > 0``.
+    """
+    if mu < 0:
+        raise ValueError("mu must be non-negative")
+    if delta <= 0:
+        return 1.0
+    return min(1.0, math.exp(-min(delta * delta, delta) * mu / 3.0))
+
+
+def chernoff_upper_bernoulli_exact(mu: float, delta: float) -> float:
+    """Lemma 5 (upper tail, tight form): ``(e^δ / (1+δ)^{1+δ})^μ``."""
+    if mu < 0:
+        raise ValueError("mu must be non-negative")
+    if delta <= 0:
+        return 1.0
+    log_bound = mu * (delta - (1.0 + delta) * math.log1p(delta))
+    return min(1.0, math.exp(log_bound))
+
+
+def chernoff_lower_bernoulli(mu: float, delta: float) -> float:
+    """Lemma 5 (lower tail, simplified form): ``P[X ≤ (1-δ)μ] ≤ exp(-δ²μ/2)``."""
+    if mu < 0:
+        raise ValueError("mu must be non-negative")
+    if not 0 < delta < 1:
+        raise ValueError("lower-tail delta must lie in (0, 1)")
+    return min(1.0, math.exp(-delta * delta * mu / 2.0))
+
+
+def chernoff_lower_bernoulli_exact(mu: float, delta: float) -> float:
+    """Lemma 5 (lower tail, tight form): ``(e^{-δ} / (1-δ)^{1-δ})^μ``."""
+    if mu < 0:
+        raise ValueError("mu must be non-negative")
+    if not 0 < delta < 1:
+        raise ValueError("lower-tail delta must lie in (0, 1)")
+    log_bound = mu * (-delta - (1.0 - delta) * math.log(1.0 - delta))
+    return min(1.0, math.exp(log_bound))
+
+
+def chernoff_geometric_sum(n: int, delta: float, epsilon: float) -> float:
+    """Lemma 6: sum of n geometric(δ) variables.
+
+    ``P[X ≥ (1+ε)·n/δ] ≤ exp(-ε²·n / (2(1+ε)))``.
+
+    Used by Theorem 20 to add up the O(log m) phases of expected length
+    O(log log n) each.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie in (0, 1)")
+    if epsilon <= 0:
+        return 1.0
+    return min(1.0, math.exp(-epsilon * epsilon * n / (2.0 * (1.0 + epsilon))))
+
+
+def chernoff_exponential_tail_sum(n: int, delta: float, gamma: float, epsilon: float) -> float:
+    """Lemma 7: sum of n variables with exponential tails ``P[X_i = k] ≤ γ(1-δ)^{k-1}``.
+
+    ``P[X ≥ (1+ε)μ + O(n)] ≤ exp(-ε²·n / (2(1+ε)))`` — the bound itself does
+    not depend on γ (γ only shifts the additive O(n) term), matching the
+    lemma's statement.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie in (0, 1)")
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    if epsilon <= 0:
+        return 1.0
+    return min(1.0, math.exp(-epsilon * epsilon * n / (2.0 * (1.0 + epsilon))))
+
+
+def hoeffding_bound(n: int, t: float, value_range: float = 1.0) -> float:
+    """Two-sided Hoeffding bound ``P[|X − E X| ≥ t] ≤ 2·exp(-2t²/(n·range²))``.
+
+    Used in the proof of Lemma 15 ("Using Hoeffding's bound ...").
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if value_range <= 0:
+        raise ValueError("value_range must be positive")
+    if t <= 0:
+        return 1.0
+    return min(1.0, 2.0 * math.exp(-2.0 * t * t / (n * value_range * value_range)))

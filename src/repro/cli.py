@@ -1,0 +1,161 @@
+"""Command-line interface: ``repro-consensus`` / ``python -m repro``.
+
+Subcommands
+-----------
+
+``simulate``
+    Run a single simulation and print its summary.
+
+``sweep``
+    Run one of the named experiment sweeps (theorem1, theorem3, figure1, ...)
+    and print its table; optionally save JSON/CSV.
+
+``figure1``
+    Regenerate the paper's Figure 1 summary table.
+
+``rules``
+    List the registered update rules and adversary strategies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.adversary.strategies import ADVERSARY_REGISTRY, make_adversary
+from repro.core.rules import available_rules, get_rule
+from repro.engine.vectorized import simulate
+from repro.experiments import figures
+from repro.experiments.reporting import format_report
+from repro.experiments.workloads import WORKLOAD_REGISTRY, make_workload
+from repro.io.tables import render_kv
+
+__all__ = ["main", "build_parser"]
+
+_SWEEPS = {
+    "theorem1": figures.reproduce_theorem1,
+    "theorem2": figures.reproduce_theorem2,
+    "theorem3": figures.reproduce_theorem3,
+    "theorem4": figures.reproduce_theorem4,
+    "theorem10": figures.reproduce_theorem10,
+    "figure1": figures.reproduce_figure1,
+    "minrule": figures.reproduce_minimum_rule_attack,
+    "adversary-threshold": figures.reproduce_adversary_threshold,
+    "rule-comparison": figures.reproduce_rule_comparison,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-consensus",
+        description="Stabilizing consensus with the power of two choices "
+                    "(Doerr et al., SPAA 2011) — reproduction toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sim = sub.add_parser("simulate", help="run a single simulation")
+    sim.add_argument("--n", type=int, default=1024, help="number of processes")
+    sim.add_argument("--workload", default="all-distinct", choices=sorted(WORKLOAD_REGISTRY))
+    sim.add_argument("--m", type=int, default=None, help="number of initial values "
+                                                         "(workloads that take m)")
+    sim.add_argument("--rule", default="median", help="update rule name")
+    sim.add_argument("--adversary", default="null", choices=sorted(ADVERSARY_REGISTRY))
+    sim.add_argument("--budget", type=int, default=0, help="adversary budget T")
+    sim.add_argument("--max-rounds", type=int, default=None)
+    sim.add_argument("--seed", type=int, default=0)
+
+    swp = sub.add_parser("sweep", help="run a named experiment sweep")
+    swp.add_argument("name", choices=sorted(_SWEEPS))
+    swp.add_argument("--scale", type=float, default=1.0,
+                     help="problem-size scale factor (use <1 for quick runs)")
+    swp.add_argument("--runs", type=int, default=None, help="runs per cell")
+    swp.add_argument("--json", type=Path, default=None, help="save report as JSON")
+    swp.add_argument("--csv", type=Path, default=None, help="save report as CSV")
+
+    fig = sub.add_parser("figure1", help="regenerate the paper's Figure 1 table")
+    fig.add_argument("--scale", type=float, default=1.0)
+    fig.add_argument("--runs", type=int, default=10)
+
+    sub.add_parser("rules", help="list registered rules, adversaries and workloads")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    params = {"n": args.n}
+    if args.m is not None:
+        params["m"] = args.m
+    workload = make_workload(args.workload, **params)
+    rng = np.random.default_rng(args.seed)
+    initial = workload(rng) if callable(workload) else workload
+    rule = get_rule(args.rule)
+    adversary = make_adversary(args.adversary, budget=args.budget)
+    result = simulate(initial, rule=rule, adversary=adversary, seed=args.seed,
+                      max_rounds=args.max_rounds)
+    print(render_kv(result.summary(), title="simulation result"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    func = _SWEEPS[args.name]
+    kwargs = {"scale": args.scale}
+    if args.runs is not None:
+        kwargs["num_runs"] = args.runs
+    figure = func(**kwargs)
+    print(figure.table)
+    if figure.fits:
+        print("\nScaling fits (best first):")
+        for fit in figure.fits:
+            print(f"  {fit.predictor_name}: slope={fit.slope:.3f}, "
+                  f"intercept={fit.intercept:.3f}, R^2={fit.r_squared:.4f}")
+    if args.json is not None:
+        figure.report.save_json(args.json)
+        print(f"\nsaved JSON report to {args.json}")
+    if args.csv is not None:
+        figure.report.save_csv(args.csv)
+        print(f"saved CSV report to {args.csv}")
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    figure = figures.reproduce_figure1(scale=args.scale, num_runs=args.runs)
+    print("Figure 1 (empirical mean convergence rounds):\n")
+    print(figure.table)
+    return 0
+
+
+def _cmd_rules(_: argparse.Namespace) -> int:
+    print("Update rules:")
+    for name in sorted(available_rules()):
+        print(f"  - {name}")
+    print("\nAdversary strategies:")
+    for name in sorted(ADVERSARY_REGISTRY):
+        print(f"  - {name}")
+    print("\nWorkloads:")
+    for name in sorted(WORKLOAD_REGISTRY):
+        print(f"  - {name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "figure1":
+        return _cmd_figure1(args)
+    if args.command == "rules":
+        return _cmd_rules(args)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

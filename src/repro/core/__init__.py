@@ -1,0 +1,128 @@
+"""Core of the reproduction: the median rule and its companions.
+
+This subpackage contains the paper's primary contribution (the median rule),
+the baseline rules it is compared against, the configuration/state model, the
+quantities its analysis tracks (imbalance, gravity, heavy balls), consensus
+detection, and the fineness coupling of Lemma 17.
+"""
+
+from repro.core.baseline_rules import (
+    MaximumRule,
+    MeanRule,
+    MinimumRule,
+    TwoChoicesMajorityRule,
+    VoterRule,
+)
+from repro.core.consensus import (
+    AlmostStableCriterion,
+    ConsensusStatus,
+    consensus_value,
+    detect_almost_stable_round,
+    detect_consensus_round,
+    is_consensus,
+)
+from repro.core.fineness import (
+    CoupledTrajectories,
+    coupled_run,
+    is_finer,
+    refinement_map,
+)
+from repro.core.gravity import (
+    empirical_gravity,
+    exact_gravity,
+    gravity,
+    gravity_array,
+    heavy_ball_threshold,
+    heavy_balls,
+)
+from repro.core.majority_rule import (
+    MajorityRule,
+    exact_two_bin_transition,
+    two_bin_step_distribution,
+)
+from repro.core.median_rule import (
+    BestOfKMedianRule,
+    MedianRule,
+    MedianRuleWithoutReplacement,
+    median_of_three,
+    median_of_three_scalar,
+)
+from repro.core.multidim import (
+    CoordinatewiseMedianRule,
+    TukeyMedianRule,
+    VectorConfiguration,
+    simulate_vector,
+)
+from repro.core.metrics import (
+    ConfigurationMetrics,
+    TwoBinStats,
+    agreement_count,
+    configuration_metrics,
+    imbalance,
+    labelled_imbalance,
+    minority_count,
+    superbin_split,
+    support_size,
+    two_bin_stats,
+)
+from repro.core.rules import RULE_REGISTRY, Rule, available_rules, get_rule, register_rule
+from repro.core.state import Configuration
+
+__all__ = [
+    # state
+    "Configuration",
+    # rules
+    "Rule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "get_rule",
+    "available_rules",
+    "MedianRule",
+    "MedianRuleWithoutReplacement",
+    "BestOfKMedianRule",
+    "MajorityRule",
+    "MinimumRule",
+    "MaximumRule",
+    "VoterRule",
+    "MeanRule",
+    "TwoChoicesMajorityRule",
+    "median_of_three",
+    "median_of_three_scalar",
+    "exact_two_bin_transition",
+    "two_bin_step_distribution",
+    # consensus
+    "is_consensus",
+    "consensus_value",
+    "ConsensusStatus",
+    "AlmostStableCriterion",
+    "detect_consensus_round",
+    "detect_almost_stable_round",
+    # metrics
+    "TwoBinStats",
+    "two_bin_stats",
+    "imbalance",
+    "labelled_imbalance",
+    "support_size",
+    "agreement_count",
+    "minority_count",
+    "superbin_split",
+    "ConfigurationMetrics",
+    "configuration_metrics",
+    # multidim
+    "VectorConfiguration",
+    "CoordinatewiseMedianRule",
+    "TukeyMedianRule",
+    "simulate_vector",
+    # gravity
+    "gravity",
+    "gravity_array",
+    "exact_gravity",
+    "empirical_gravity",
+    "heavy_ball_threshold",
+    "heavy_balls",
+    # fineness
+    "is_finer",
+    "refinement_map",
+    "coupled_run",
+    "CoupledTrajectories",
+]

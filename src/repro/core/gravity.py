@@ -1,0 +1,164 @@
+"""Gravity of a ball and heavy-ball sets (Section 4.2, Equation 1).
+
+The paper orders balls so that balls with higher numbers sit in higher bins,
+and associates with each ball ``i`` its *gravity* ``g(i)``: the expected
+number of balls that choose ball ``i``'s position as their median in the next
+step.  Equation (1) gives
+
+    g(i) = 6 * (n - i) * i / n**2 + O(1/n)
+
+(using 1-based ball numbering; the maximum ~3/2 is attained by the median
+ball ``i ≈ n/2``).  Bins whose heavy balls all have gravity ≥ 4/3 keep growing
+(Lemma 19); bins that contain a heavy ball with gravity < 4/3 eventually die
+(Lemma 18).  This module provides:
+
+* :func:`gravity` — the closed-form approximation of Eq. (1);
+* :func:`exact_gravity` — the exact expected number of choosers, derived by
+  summing, over every ball ``j``, the probability that the median of
+  ``{rank(j), I, J}`` equals ball ``i``'s rank (no ``O(1/n)`` slack), used to
+  validate the approximation empirically;
+* :func:`empirical_gravity` — a Monte-Carlo estimate obtained by actually
+  running rounds, used by the GRAVITY experiment;
+* :func:`heavy_balls` — the heavy-ball sets ``H_{t,j}`` (the ``Φ = C·sqrt(n log n)``
+  balls of largest gravity in each bin).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.state import Configuration
+
+__all__ = [
+    "gravity",
+    "gravity_array",
+    "exact_gravity",
+    "empirical_gravity",
+    "heavy_ball_threshold",
+    "heavy_balls",
+    "median_ball_rank",
+]
+
+
+def gravity(i: int | np.ndarray, n: int) -> float | np.ndarray:
+    """Equation (1): ``g(i) ≈ 6 i (n−i) / n²`` for 1-based ball rank ``i``.
+
+    ``i`` may be a scalar or array of ranks in ``[1, n]``.
+    """
+    i_arr = np.asarray(i, dtype=np.float64)
+    out = 6.0 * (n - i_arr) * i_arr / float(n) ** 2
+    if np.isscalar(i):
+        return float(out)
+    return out
+
+
+def gravity_array(n: int) -> np.ndarray:
+    """Gravity of every ball rank ``1..n`` as an array (index 0 ↔ rank 1)."""
+    return gravity(np.arange(1, n + 1), n)
+
+
+def median_ball_rank(n: int) -> int:
+    """Rank of the median ball, ``ceil(n/2)`` in the paper's 1-based ordering."""
+    return (n + 1) // 2
+
+
+def exact_gravity(i: int, n: int) -> float:
+    """Exact expected number of balls choosing rank ``i`` as their median.
+
+    For the all-distinct (all-one) assignment with balls at ranks ``1..n``,
+    ball ``j`` updates to the median of ``{j, I_j, J_j}`` where ``I_j, J_j``
+    are uniform on ``[1, n]``.  The probability that this median equals ``i``
+    decomposes by the position of ``j`` relative to ``i``:
+
+    * ``j < i``: the median is ``i`` iff exactly one of the two samples is
+      ``i`` and the other is ``> i`` ... plus the case both samples are ``i``.
+    * ``j > i``: symmetric with "``< i``".
+    * ``j = i``: the median is ``i`` unless both samples fall strictly on the
+      same side of ``i``.
+
+    Summing these over all ``j`` gives the exact gravity, which Eq. (1)
+    approximates as ``6 i (n - i) / n²``.
+    """
+    if not 1 <= i <= n:
+        raise ValueError("rank i must lie in [1, n]")
+    below = i - 1          # number of ranks < i
+    above = n - i          # number of ranks > i
+    p_i = 1.0 / n          # probability one uniform sample equals i exactly
+    p_above = above / n
+    p_below = below / n
+
+    # j strictly below i: need median == i.
+    # Both samples >= i is not enough (median would be min(samples) which may
+    # exceed i); we need the *second smallest* of {j, s1, s2} to be i, i.e.
+    # at least one sample == i and the other >= i, or both samples == i.
+    p_from_below = 2.0 * p_i * p_above + p_i * p_i
+    # j strictly above i: symmetric.
+    p_from_above = 2.0 * p_i * p_below + p_i * p_i
+    # j == i: median stays at i unless both samples are < i or both are > i.
+    p_stay = 1.0 - p_below ** 2 - p_above ** 2
+
+    return below * p_from_below + above * p_from_above + p_stay
+
+
+def empirical_gravity(n: int, rounds: int, rng: np.random.Generator) -> np.ndarray:
+    """Monte-Carlo estimate of the gravity of each rank in the all-one state.
+
+    Repeats ``rounds`` independent single-round experiments from the
+    all-distinct configuration and counts, for every rank ``i``, how many
+    balls chose ``i`` as their new value; returns the per-round average.
+    This directly estimates the quantity that Eq. (1) approximates.
+    """
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    values = np.arange(1, n + 1, dtype=np.int64)
+    counts = np.zeros(n, dtype=np.float64)
+    for _ in range(rounds):
+        samples = rng.integers(0, n, size=(n, 2))
+        vj = values[samples[:, 0]]
+        vk = values[samples[:, 1]]
+        lo = np.minimum(values, vj)
+        hi = np.maximum(values, vj)
+        med = np.maximum(lo, np.minimum(hi, vk))
+        counts += np.bincount(med - 1, minlength=n)
+    return counts / rounds
+
+
+def heavy_ball_threshold(n: int, constant: float = 1.0) -> int:
+    """``Φ = C · sqrt(n log n)`` — the heavy-ball set size of Section 4.2."""
+    if n <= 1:
+        return n
+    return max(1, int(math.ceil(constant * math.sqrt(n * math.log(n)))))
+
+
+def heavy_balls(config: Configuration, constant: float = 1.0
+                ) -> Dict[int, np.ndarray]:
+    """Heavy-ball sets ``H_{t,j}``: per bin, the ≤Φ balls of largest gravity.
+
+    Balls are ranked by the paper's ordering (sorted by value, ties by index);
+    gravity is evaluated with Eq. (1) at each ball's rank.  Returns a mapping
+    from bin value to the array of *process indices* forming that bin's
+    heavy-ball set.
+    """
+    n = config.n
+    phi = heavy_ball_threshold(n, constant)
+    order = np.argsort(config.values, kind="stable")      # process index by rank
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = np.arange(1, n + 1)                     # rank of each process
+    grav = gravity(ranks, n)
+
+    out: Dict[int, np.ndarray] = {}
+    for value in config.support:
+        members = np.flatnonzero(config.values == value)
+        if members.shape[0] == 0:
+            continue
+        member_grav = grav[members]
+        if members.shape[0] <= phi:
+            chosen = members[np.argsort(-member_grav, kind="stable")]
+        else:
+            top = np.argsort(-member_grav, kind="stable")[:phi]
+            chosen = members[top]
+        out[int(value)] = chosen
+    return out

@@ -1,0 +1,265 @@
+"""Configuration state for the balls-into-bins view of stabilizing consensus.
+
+The paper (Section 2.1) identifies processes with *balls* and values with
+*bins*: ``b_{t,j}`` is the bin (value) held by ball (process) ``j`` after
+round ``t``.  This module provides :class:`Configuration`, the canonical
+in-memory representation of one such assignment, together with conversion
+helpers between the two natural encodings:
+
+* the *value vector* ``values[j] = b_{t,j}`` of length ``n`` (one entry per
+  process), and
+* the *load vector* ``loads[v] = |{j : b_{t,j} = v}|`` (one entry per bin).
+
+Values are arbitrary integers (the paper assumes they fit in ``O(log n)``
+bits); internally they are stored as ``numpy.int64``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Configuration",
+    "loads_from_values",
+    "values_from_loads",
+    "support",
+    "canonicalize_values",
+]
+
+
+def _as_int_array(values: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Return ``values`` as a 1-D contiguous ``int64`` array (copying if needed)."""
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D value vector, got shape {arr.shape}")
+    return np.ascontiguousarray(arr)
+
+
+def loads_from_values(values: Sequence[int] | np.ndarray) -> Dict[int, int]:
+    """Compute the bin-load dictionary ``{value: count}`` of a value vector.
+
+    >>> loads_from_values([1, 1, 2, 5])
+    {1: 2, 2: 1, 5: 1}
+    """
+    arr = _as_int_array(values)
+    uniq, counts = np.unique(arr, return_counts=True)
+    return {int(v): int(c) for v, c in zip(uniq, counts)}
+
+
+def values_from_loads(loads: Mapping[int, int]) -> np.ndarray:
+    """Expand a ``{value: count}`` mapping into a sorted value vector.
+
+    The resulting vector lists each value ``count`` times, in increasing value
+    order, which matches the paper's convention of numbering balls so that
+    balls in lower bins get lower indices.
+
+    >>> values_from_loads({2: 1, 1: 2}).tolist()
+    [1, 1, 2]
+    """
+    if any(c < 0 for c in loads.values()):
+        raise ValueError("bin loads must be non-negative")
+    parts = [np.full(int(count), int(value), dtype=np.int64)
+             for value, count in sorted(loads.items()) if count > 0]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def support(values: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Return the sorted set of distinct values (the non-empty bins)."""
+    return np.unique(_as_int_array(values))
+
+
+def canonicalize_values(values: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Relabel values to ``0..m-1`` preserving order.
+
+    The median rule is equivariant under monotone (order-preserving)
+    relabelling of the values (this is the heart of Lemma 17), so analyses
+    frequently canonicalize a configuration to densely packed small integers.
+
+    >>> canonicalize_values([10, 3, 10, 99]).tolist()
+    [1, 0, 1, 2]
+    """
+    arr = _as_int_array(values)
+    _, inverse = np.unique(arr, return_inverse=True)
+    return inverse.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A snapshot of the consensus process: one value per process.
+
+    Parameters
+    ----------
+    values:
+        Length-``n`` integer array; ``values[j]`` is the value currently held
+        by process ``j``.
+
+    Notes
+    -----
+    ``Configuration`` is immutable (frozen dataclass with a read-only array)
+    so that snapshots stored in trajectories cannot be mutated accidentally
+    by later rounds.
+    """
+
+    values: np.ndarray = field()
+
+    def __post_init__(self) -> None:
+        arr = _as_int_array(self.values)
+        arr.setflags(write=False)
+        object.__setattr__(self, "values", arr)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_values(cls, values: Sequence[int] | np.ndarray) -> "Configuration":
+        """Build a configuration from an explicit per-process value vector."""
+        return cls(values=_as_int_array(values))
+
+    @classmethod
+    def from_loads(cls, loads: Mapping[int, int]) -> "Configuration":
+        """Build a configuration from bin loads ``{value: count}``."""
+        return cls(values=values_from_loads(loads))
+
+    @classmethod
+    def all_distinct(cls, n: int) -> "Configuration":
+        """The *all-one* assignment of the paper: process ``i`` holds value ``i``.
+
+        This is the finest possible assignment (Section 4.1) and therefore the
+        worst case for convergence time (Lemma 17).
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return cls(values=np.arange(n, dtype=np.int64))
+
+    @classmethod
+    def two_bins(cls, n: int, minority: int, low: int = 0, high: int = 1) -> "Configuration":
+        """A two-value split with ``minority`` processes on ``low``.
+
+        Used throughout Section 3 (two bins with adversary).
+        """
+        if not 0 <= minority <= n:
+            raise ValueError("minority must lie in [0, n]")
+        values = np.full(n, int(high), dtype=np.int64)
+        values[:minority] = int(low)
+        return cls(values=values)
+
+    @classmethod
+    def uniform_random(
+        cls, n: int, m: int, rng: np.random.Generator, values: Sequence[int] | None = None
+    ) -> "Configuration":
+        """Each process draws one of ``m`` values independently and uniformly.
+
+        This is the average-case initial state of Section 5.
+        """
+        if m <= 0 or n <= 0:
+            raise ValueError("n and m must be positive")
+        pool = np.arange(m, dtype=np.int64) if values is None else _as_int_array(values)
+        if len(pool) != m:
+            raise ValueError("values pool must have length m")
+        picks = rng.integers(0, m, size=n)
+        return cls(values=pool[picks])
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of processes (balls)."""
+        return int(self.values.shape[0])
+
+    @property
+    def loads(self) -> Dict[int, int]:
+        """Bin loads ``{value: count}`` over non-empty bins."""
+        return loads_from_values(self.values)
+
+    @property
+    def support(self) -> np.ndarray:
+        """Sorted distinct values currently present."""
+        return support(self.values)
+
+    @property
+    def num_values(self) -> int:
+        """Number of distinct values (non-empty bins)."""
+        return int(self.support.shape[0])
+
+    @property
+    def is_consensus(self) -> bool:
+        """True iff every process holds the same value (a fixed point)."""
+        return self.num_values <= 1
+
+    def sorted_values(self) -> np.ndarray:
+        """The value vector sorted ascending (the paper's ball ordering)."""
+        return np.sort(self.values)
+
+    def median_value(self) -> int:
+        """The value held by the median ball ``m_t`` (Section 2.1).
+
+        The median ball is the ball at position ``ceil(n/2)`` in the sorted
+        ordering; for even ``n`` we take the lower of the two central balls,
+        which satisfies both defining inequalities of Section 2.1.
+        """
+        srt = self.sorted_values()
+        return int(srt[(self.n - 1) // 2])
+
+    def count_value(self, value: int) -> int:
+        """Number of processes currently holding ``value``."""
+        return int(np.count_nonzero(self.values == int(value)))
+
+    def majority_value(self) -> int:
+        """The most frequent value (ties broken towards the smaller value)."""
+        uniq, counts = np.unique(self.values, return_counts=True)
+        return int(uniq[int(np.argmax(counts))])
+
+    def agreement_fraction(self) -> float:
+        """Fraction of processes holding the most frequent value."""
+        _, counts = np.unique(self.values, return_counts=True)
+        return float(counts.max()) / float(self.n)
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+    def canonicalized(self) -> "Configuration":
+        """Relabel values to ``0..m-1``, preserving order."""
+        return Configuration(values=canonicalize_values(self.values))
+
+    def with_values(self, indices: Sequence[int] | np.ndarray,
+                    new_values: Sequence[int] | np.ndarray) -> "Configuration":
+        """Return a copy with ``values[indices] = new_values`` (adversary writes)."""
+        arr = np.array(self.values, dtype=np.int64)
+        arr[np.asarray(indices, dtype=np.int64)] = np.asarray(new_values, dtype=np.int64)
+        return Configuration(values=arr)
+
+    def mapped(self, mapping: Mapping[int, int]) -> "Configuration":
+        """Apply a value-to-value mapping (used for fineness refinement maps)."""
+        arr = np.array([mapping[int(v)] for v in self.values], dtype=np.int64)
+        return Configuration(values=arr)
+
+    def copy_values(self) -> np.ndarray:
+        """A mutable copy of the value vector (for engine-internal updates)."""
+        return np.array(self.values, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return bool(np.array_equal(self.values, other.values))
+
+    def __hash__(self) -> int:
+        return hash(self.values.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        loads = self.loads
+        if len(loads) > 6:
+            head = dict(list(loads.items())[:6])
+            return f"Configuration(n={self.n}, bins={self.num_values}, loads~{head}...)"
+        return f"Configuration(n={self.n}, loads={loads})"

@@ -1,0 +1,32 @@
+"""Simulation engines: vectorized single runs, fused batches, parallel sweeps."""
+
+from repro.engine.asynchronous import ACTIVATION_ORDERS, AsyncResult, simulate_asynchronous
+from repro.engine.batch import BatchResult, run_batch, run_batch_fused
+from repro.engine.parallel import WorkItem, execute_work_items, recommended_workers
+from repro.engine.rng import RngPool, make_rng, spawn_rngs, spawn_seeds
+from repro.engine.run import SimulationResult
+from repro.engine.trajectory import RecordLevel, Trajectory, TrajectoryRecorder
+from repro.engine.vectorized import EngineConfig, default_max_rounds, simulate
+
+__all__ = [
+    "simulate",
+    "simulate_asynchronous",
+    "AsyncResult",
+    "ACTIVATION_ORDERS",
+    "EngineConfig",
+    "default_max_rounds",
+    "SimulationResult",
+    "BatchResult",
+    "run_batch",
+    "run_batch_fused",
+    "WorkItem",
+    "execute_work_items",
+    "recommended_workers",
+    "RecordLevel",
+    "Trajectory",
+    "TrajectoryRecorder",
+    "make_rng",
+    "spawn_rngs",
+    "spawn_seeds",
+    "RngPool",
+]

@@ -1,0 +1,137 @@
+"""Process-pool execution of independent simulation batches.
+
+Parameter sweeps (Figure 1, Theorems 3/4) launch many independent batches:
+one per (n, m, adversary budget) cell.  Because each batch is an independent
+Monte-Carlo computation, the natural parallelization is one cell per worker
+process — the "embarrassingly parallel" pattern the HPC guides recommend for
+Python (process-level parallelism; no shared mutable state; NumPy inside each
+worker).
+
+Work items must be *picklable*: the pool ships a :class:`WorkItem` describing
+the cell (not closures), and the worker rebuilds rules/adversaries from their
+registry names.  ``max_workers=0`` (or an unavailable ``ProcessPoolExecutor``)
+falls back to in-process serial execution, which keeps tests deterministic
+and CI-friendly.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.adversary.strategies import make_adversary
+from repro.core.rules import get_rule
+from repro.core.state import Configuration
+from repro.engine.batch import BatchResult, run_batch
+
+__all__ = ["WorkItem", "execute_work_items", "recommended_workers"]
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """A picklable description of one Monte-Carlo cell.
+
+    Attributes
+    ----------
+    label:
+        Free-form identifier echoed back with the result (e.g. ``"n=4096"``).
+    workload:
+        Name of a workload generator registered in
+        :mod:`repro.experiments.workloads`.
+    workload_params:
+        Keyword arguments for the workload generator (must include ``n``).
+    rule / rule_params:
+        Rule registry name and constructor kwargs.
+    adversary / adversary_budget / adversary_params:
+        Adversary registry name, budget T, constructor kwargs.
+    num_runs, seed, max_rounds:
+        Batch size, base seed, and per-run horizon.
+    """
+
+    label: str
+    workload: str
+    workload_params: Dict[str, Any]
+    rule: str = "median"
+    rule_params: Dict[str, Any] = field(default_factory=dict)
+    adversary: str = "null"
+    adversary_budget: int = 0
+    adversary_params: Dict[str, Any] = field(default_factory=dict)
+    num_runs: int = 20
+    seed: Optional[int] = None
+    max_rounds: Optional[int] = None
+
+    def __hash__(self) -> int:  # dataclass with dict fields: hash by label+seed
+        return hash((self.label, self.workload, self.rule, self.adversary,
+                     self.adversary_budget, self.num_runs, self.seed))
+
+
+def _execute_one(item: WorkItem) -> Dict[str, Any]:
+    """Worker entry point: run one cell and return a flat summary dict."""
+    # imported here so the worker process resolves registries on its side
+    from repro.experiments.workloads import make_workload
+
+    rule = get_rule(item.rule, **item.rule_params)
+    workload = make_workload(item.workload, **item.workload_params)
+
+    def adversary_factory():
+        return make_adversary(item.adversary, budget=item.adversary_budget,
+                              **item.adversary_params)
+
+    batch = run_batch(
+        workload,
+        num_runs=item.num_runs,
+        rule=rule,
+        adversary_factory=adversary_factory if item.adversary_budget > 0 else None,
+        seed=item.seed,
+        max_rounds=item.max_rounds,
+    )
+    summary = batch.summary()
+    summary["label"] = item.label
+    summary["workload"] = item.workload
+    summary["adversary"] = item.adversary
+    summary["adversary_budget"] = item.adversary_budget
+    summary.update({f"param_{k}": v for k, v in item.workload_params.items()})
+    return summary
+
+
+def recommended_workers() -> int:
+    """A conservative worker count: ``cpu_count - 1`` with a floor of 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def execute_work_items(
+    items: Sequence[WorkItem],
+    max_workers: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Run a list of work items, in parallel when possible.
+
+    Parameters
+    ----------
+    items:
+        The cells to run.
+    max_workers:
+        ``None`` → :func:`recommended_workers`; ``0`` or ``1`` → serial
+        in-process execution (no pool).
+
+    Returns
+    -------
+    list of dict
+        One flat summary per item, in the same order as ``items``.
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = recommended_workers() if max_workers is None else int(max_workers)
+    if workers <= 1 or len(items) == 1:
+        return [_execute_one(item) for item in items]
+
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute_one, items))
+    except (OSError, ValueError, RuntimeError):
+        # Sandboxed or fork-restricted environments: degrade gracefully.
+        return [_execute_one(item) for item in items]

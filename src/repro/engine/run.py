@@ -1,0 +1,118 @@
+"""Result records for simulation runs.
+
+:class:`SimulationResult` is the uniform return type of both the vectorized
+engine (:mod:`repro.engine.vectorized`) and the agent-level network simulator
+(:mod:`repro.network.simulator`), so analysis and experiment code never cares
+which substrate produced a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.consensus import AlmostStableCriterion, ConsensusStatus
+from repro.core.state import Configuration
+from repro.engine.trajectory import Trajectory
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated run.
+
+    Attributes
+    ----------
+    initial / final:
+        First and last configurations of the run.
+    rounds_executed:
+        Number of synchronous rounds actually simulated (the run may stop
+        early once its stop criterion fires).
+    consensus:
+        Exact-consensus detection outcome (first round all values equal);
+        for adversarial runs this usually reports "not reached" because the
+        adversary keeps a handful of processes deviating.
+    almost_stable:
+        Almost-stable-consensus detection outcome under the run's criterion
+        (tolerance ``O(T)``, trailing stability window).
+    trajectory:
+        Per-round records (level depends on the run's ``RecordLevel``).
+    rule_name / adversary_name:
+        Provenance for reporting.
+    meta:
+        Free-form extras (e.g. adversary budget, workload name, seed).
+    """
+
+    initial: Configuration
+    final: Configuration
+    rounds_executed: int
+    consensus: ConsensusStatus
+    almost_stable: ConsensusStatus
+    trajectory: Trajectory
+    rule_name: str = "median"
+    adversary_name: str = "null"
+    criterion: Optional[AlmostStableCriterion] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # convenience accessors used throughout experiments and tests
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        return self.initial.n
+
+    @property
+    def reached_consensus(self) -> bool:
+        return self.consensus.reached
+
+    @property
+    def consensus_round(self) -> Optional[int]:
+        return self.consensus.round
+
+    @property
+    def reached_almost_stable(self) -> bool:
+        return self.almost_stable.reached
+
+    @property
+    def almost_stable_round(self) -> Optional[int]:
+        return self.almost_stable.round
+
+    @property
+    def winning_value(self) -> Optional[int]:
+        if self.consensus.value is not None:
+            return self.consensus.value
+        return self.almost_stable.value
+
+    @property
+    def final_agreement_fraction(self) -> float:
+        return self.final.agreement_fraction()
+
+    def convergence_round(self) -> Optional[int]:
+        """The round count experiments report: exact consensus if reached,
+        otherwise the almost-stable round (or ``None`` if neither)."""
+        if self.consensus.reached:
+            return self.consensus.round
+        if self.almost_stable.reached:
+            return self.almost_stable.round
+        return None
+
+    def summary(self) -> Dict[str, Any]:
+        """A flat, JSON-serializable summary of the run."""
+        return {
+            "n": self.n,
+            "rule": self.rule_name,
+            "adversary": self.adversary_name,
+            "rounds_executed": self.rounds_executed,
+            "initial_support": self.initial.num_values,
+            "final_support": self.final.num_values,
+            "consensus_reached": self.consensus.reached,
+            "consensus_round": self.consensus.round,
+            "almost_stable_reached": self.almost_stable.reached,
+            "almost_stable_round": self.almost_stable.round,
+            "winning_value": self.winning_value,
+            "final_agreement_fraction": self.final_agreement_fraction,
+            **{f"meta_{k}": v for k, v in self.meta.items()},
+        }

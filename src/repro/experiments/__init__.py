@@ -1,0 +1,63 @@
+"""Experiment harness: configs, workloads, sweeps, runners, figure reproduction."""
+
+from repro.experiments.config import ExperimentConfig, SweepConfig
+from repro.experiments.figures import (
+    FigureResult,
+    reproduce_adversary_threshold,
+    reproduce_figure1,
+    reproduce_minimum_rule_attack,
+    reproduce_rule_comparison,
+    reproduce_theorem1,
+    reproduce_theorem2,
+    reproduce_theorem3,
+    reproduce_theorem4,
+    reproduce_theorem10,
+)
+from repro.experiments.reporting import format_figure1_table, format_report, format_table
+from repro.experiments.results import CellResult, ExperimentReport
+from repro.experiments.runner import run_cell, run_sweep
+from repro.experiments.sweep import (
+    adversary_threshold_sweep,
+    figure1_sweep,
+    minimum_rule_attack_sweep,
+    rule_comparison_sweep,
+    theorem1_sweep,
+    theorem2_sweep,
+    theorem3_sweep,
+    theorem4_sweep,
+    theorem10_sweep,
+)
+from repro.experiments.workloads import WORKLOAD_REGISTRY, make_workload
+
+__all__ = [
+    "ExperimentConfig",
+    "SweepConfig",
+    "CellResult",
+    "ExperimentReport",
+    "run_cell",
+    "run_sweep",
+    "make_workload",
+    "WORKLOAD_REGISTRY",
+    "format_table",
+    "format_report",
+    "format_figure1_table",
+    "FigureResult",
+    "reproduce_figure1",
+    "reproduce_theorem1",
+    "reproduce_theorem2",
+    "reproduce_theorem3",
+    "reproduce_theorem4",
+    "reproduce_theorem10",
+    "reproduce_minimum_rule_attack",
+    "reproduce_adversary_threshold",
+    "reproduce_rule_comparison",
+    "theorem1_sweep",
+    "theorem2_sweep",
+    "theorem3_sweep",
+    "theorem4_sweep",
+    "theorem10_sweep",
+    "figure1_sweep",
+    "minimum_rule_attack_sweep",
+    "adversary_threshold_sweep",
+    "rule_comparison_sweep",
+]

@@ -1,0 +1,115 @@
+"""Experiment configuration dataclasses.
+
+An :class:`ExperimentConfig` fully describes one Monte-Carlo cell: workload,
+rule, adversary, batch size, horizon and seed.  A :class:`SweepConfig` is a
+list of cells produced by crossing parameter grids.  Both are plain, JSON-
+serializable dataclasses so experiment definitions can be stored next to
+their results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+__all__ = ["ExperimentConfig", "SweepConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One Monte-Carlo experiment cell.
+
+    Attributes
+    ----------
+    name:
+        Human-readable cell label (used in tables, e.g. ``"n=4096,m=8,adv"``).
+    workload / workload_params:
+        Registry name and parameters of the initial-state generator
+        (see :mod:`repro.experiments.workloads`); ``workload_params`` must
+        contain ``n``.
+    rule / rule_params:
+        Update-rule registry name and constructor kwargs.
+    adversary / adversary_budget / adversary_params:
+        Adversary registry name, per-round budget T and constructor kwargs.
+    num_runs:
+        Number of independent runs for this cell.
+    max_rounds:
+        Per-run horizon (``None`` → engine default of ~40·log2 n).
+    seed:
+        Base seed; run i uses the i-th spawned child stream.
+    """
+
+    name: str
+    workload: str
+    workload_params: Dict[str, Any]
+    rule: str = "median"
+    rule_params: Dict[str, Any] = field(default_factory=dict)
+    adversary: str = "null"
+    adversary_budget: int = 0
+    adversary_params: Dict[str, Any] = field(default_factory=dict)
+    num_runs: int = 20
+    max_rounds: Optional[int] = None
+    seed: Optional[int] = 12345
+
+    def __post_init__(self) -> None:
+        if "n" not in self.workload_params:
+            raise ValueError("workload_params must include 'n'")
+        if self.num_runs <= 0:
+            raise ValueError("num_runs must be positive")
+        if self.adversary_budget < 0:
+            raise ValueError("adversary_budget must be non-negative")
+
+    @property
+    def n(self) -> int:
+        return int(self.workload_params["n"])
+
+    @property
+    def m(self) -> int:
+        """Number of initial values implied by the workload (best effort)."""
+        if "m" in self.workload_params:
+            return int(self.workload_params["m"])
+        if self.workload == "all-distinct":
+            return self.n
+        if self.workload == "two-bins":
+            return 2
+        return 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentConfig":
+        return cls(**data)
+
+
+@dataclass
+class SweepConfig:
+    """An ordered collection of experiment cells."""
+
+    name: str
+    cells: List[ExperimentConfig] = field(default_factory=list)
+    description: str = ""
+
+    def add(self, cell: ExperimentConfig) -> None:
+        self.cells.append(cell)
+
+    def __iter__(self) -> Iterator[ExperimentConfig]:
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepConfig":
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            cells=[ExperimentConfig.from_dict(c) for c in data.get("cells", [])],
+        )

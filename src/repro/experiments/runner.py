@@ -1,0 +1,115 @@
+"""Experiment execution: run a cell or a sweep and collect results.
+
+:func:`run_cell` executes one :class:`~repro.experiments.config.ExperimentConfig`
+(``num_runs`` independent simulations) and returns a
+:class:`~repro.experiments.results.CellResult`; :func:`run_sweep` maps it over
+a :class:`~repro.experiments.config.SweepConfig`, optionally with a process
+pool for the independent cells.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.adversary.strategies import make_adversary
+from repro.core.rules import get_rule
+from repro.core.state import Configuration
+from repro.engine.batch import run_batch
+from repro.engine.parallel import WorkItem, execute_work_items
+from repro.experiments.config import ExperimentConfig, SweepConfig
+from repro.experiments.results import CellResult, ExperimentReport
+from repro.experiments.workloads import make_workload
+
+__all__ = ["run_cell", "run_sweep"]
+
+
+def run_cell(config: ExperimentConfig) -> CellResult:
+    """Execute one experiment cell in-process and summarize it."""
+    rule = get_rule(config.rule, **config.rule_params)
+    workload = make_workload(config.workload, **config.workload_params)
+
+    adversary_factory = None
+    if config.adversary_budget > 0 and config.adversary != "null":
+        def adversary_factory():
+            return make_adversary(config.adversary, budget=config.adversary_budget,
+                                  **config.adversary_params)
+
+    batch = run_batch(
+        workload,
+        num_runs=config.num_runs,
+        rule=rule,
+        adversary_factory=adversary_factory,
+        seed=config.seed,
+        max_rounds=config.max_rounds,
+    )
+    return CellResult(
+        config=config,
+        num_runs=batch.num_runs,
+        convergence_fraction=batch.convergence_fraction,
+        mean_rounds=batch.mean_rounds,
+        median_rounds=batch.median_rounds,
+        p90_rounds=batch.quantile(0.9),
+        max_rounds=batch.max_rounds,
+        rounds=[float(r) for r in batch.rounds],
+        extra={"rule": config.rule, "adversary": config.adversary},
+    )
+
+
+def run_sweep(sweep: SweepConfig, max_workers: Optional[int] = 0) -> ExperimentReport:
+    """Execute every cell of a sweep.
+
+    Parameters
+    ----------
+    sweep:
+        The sweep definition.
+    max_workers:
+        ``0``/``1`` → serial in-process execution (default; deterministic and
+        test-friendly); ``None`` or >1 → a process pool over cells using
+        :mod:`repro.engine.parallel`.
+
+    Returns
+    -------
+    ExperimentReport
+    """
+    report = ExperimentReport(name=sweep.name, description=sweep.description)
+
+    if max_workers in (0, 1):
+        for cell in sweep:
+            report.add(run_cell(cell))
+        return report
+
+    # Parallel path: translate cells to picklable WorkItems.  The pooled path
+    # returns flat summaries (not per-run rounds); cells needing per-run data
+    # should be run serially.
+    items = [
+        WorkItem(
+            label=cell.name,
+            workload=cell.workload,
+            workload_params=cell.workload_params,
+            rule=cell.rule,
+            rule_params=cell.rule_params,
+            adversary=cell.adversary,
+            adversary_budget=cell.adversary_budget,
+            adversary_params=cell.adversary_params,
+            num_runs=cell.num_runs,
+            seed=cell.seed,
+            max_rounds=cell.max_rounds,
+        )
+        for cell in sweep
+    ]
+    summaries = execute_work_items(items, max_workers=max_workers)
+    for cell, summary in zip(sweep, summaries):
+        report.add(CellResult(
+            config=cell,
+            num_runs=int(summary["num_runs"]),
+            convergence_fraction=float(summary["convergence_fraction"]),
+            mean_rounds=float(summary["mean_rounds"]),
+            median_rounds=float(summary["median_rounds"]),
+            p90_rounds=float(summary["p90_rounds"]),
+            max_rounds=float(summary["max_rounds"]),
+            rounds=[],
+            extra={"parallel": True},
+        ))
+    return report

@@ -1,0 +1,145 @@
+"""Initial-assignment (workload) generators.
+
+The paper's experiments (its theorem statements) are parameterized by the
+initial distribution of balls into bins.  Each generator here produces either
+a fixed :class:`~repro.core.state.Configuration` or a per-run factory
+``rng -> Configuration``; both forms are accepted by
+:func:`repro.engine.batch.run_batch`.
+
+Registered workloads (``make_workload(name, **params)``):
+
+``all-distinct``
+    The all-one assignment — every process holds its own value (m = n).  The
+    finest and therefore worst-case initial state (Lemma 17); used by the
+    Theorem 1 experiment.
+``two-bins``
+    A two-value split with a given minority size (or a perfectly balanced
+    split by default) — Section 3 / Theorem 10.
+``uniform-random``
+    Every process draws one of m values uniformly at random — the average
+    case of Section 5 / Theorems 4, 21.
+``blocks``
+    m equal (or near-equal) contiguous blocks of processes per value — the
+    worst-case m-value state used by the Theorem 3 experiment.
+``zipf``
+    Values drawn from a Zipf-like distribution over m values — a skewed
+    workload exercising the "one bin already dominates" regime (not from the
+    paper; useful as an example scenario).
+``planted-majority``
+    One value planted on a ``bias`` fraction of processes, the rest uniform
+    over the remaining m−1 values; models the "replicated state with a
+    mostly-correct copy" application from the introduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.state import Configuration
+
+__all__ = [
+    "WorkloadFactory",
+    "all_distinct_workload",
+    "two_bins_workload",
+    "uniform_random_workload",
+    "blocks_workload",
+    "zipf_workload",
+    "planted_majority_workload",
+    "WORKLOAD_REGISTRY",
+    "make_workload",
+]
+
+WorkloadFactory = Union[Configuration, Callable[[np.random.Generator], Configuration]]
+
+
+def all_distinct_workload(n: int) -> Configuration:
+    """Every process holds its own distinct value (the all-one assignment)."""
+    return Configuration.all_distinct(n)
+
+
+def two_bins_workload(n: int, minority: Optional[int] = None,
+                      low: int = 0, high: int = 1) -> Configuration:
+    """Two values; ``minority`` processes hold ``low`` (default: balanced split)."""
+    if minority is None:
+        minority = n // 2
+    return Configuration.two_bins(n, minority=minority, low=low, high=high)
+
+
+def uniform_random_workload(n: int, m: int) -> Callable[[np.random.Generator], Configuration]:
+    """Average case: each process draws one of ``m`` values uniformly (per-run factory)."""
+    if m <= 0:
+        raise ValueError("m must be positive")
+
+    def factory(rng: np.random.Generator) -> Configuration:
+        return Configuration.uniform_random(n, m, rng)
+
+    return factory
+
+
+def blocks_workload(n: int, m: int) -> Configuration:
+    """``m`` near-equal blocks: value ``v`` is held by ~n/m consecutive processes.
+
+    This is the natural deterministic worst case for m values: all bins start
+    with (almost) the same load, so no value has an initial head start.
+    """
+    if m <= 0 or m > n:
+        raise ValueError("m must lie in [1, n]")
+    values = (np.arange(n, dtype=np.int64) * m) // n
+    return Configuration.from_values(values)
+
+
+def zipf_workload(n: int, m: int, exponent: float = 1.2
+                  ) -> Callable[[np.random.Generator], Configuration]:
+    """Values drawn from a truncated Zipf(exponent) distribution over ``m`` values."""
+    if m <= 0:
+        raise ValueError("m must be positive")
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    weights = 1.0 / np.power(np.arange(1, m + 1, dtype=np.float64), exponent)
+    weights /= weights.sum()
+
+    def factory(rng: np.random.Generator) -> Configuration:
+        picks = rng.choice(m, size=n, p=weights)
+        return Configuration.from_values(picks.astype(np.int64))
+
+    return factory
+
+
+def planted_majority_workload(n: int, m: int, bias: float = 0.4, planted_value: int = 0
+                              ) -> Callable[[np.random.Generator], Configuration]:
+    """A ``bias`` fraction of processes hold ``planted_value``; the rest are uniform.
+
+    Models the replicated-state-consolidation application: most replicas hold
+    the correct state, a minority are stale/divergent.
+    """
+    if not 0.0 <= bias <= 1.0:
+        raise ValueError("bias must lie in [0, 1]")
+    if m <= 1:
+        raise ValueError("m must be at least 2")
+
+    def factory(rng: np.random.Generator) -> Configuration:
+        values = rng.integers(1, m, size=n).astype(np.int64)
+        planted = rng.random(n) < bias
+        values[planted] = planted_value
+        return Configuration.from_values(values)
+
+    return factory
+
+
+WORKLOAD_REGISTRY: Dict[str, Callable[..., WorkloadFactory]] = {
+    "all-distinct": all_distinct_workload,
+    "two-bins": two_bins_workload,
+    "uniform-random": uniform_random_workload,
+    "blocks": blocks_workload,
+    "zipf": zipf_workload,
+    "planted-majority": planted_majority_workload,
+}
+
+
+def make_workload(name: str, **params) -> WorkloadFactory:
+    """Build a workload (fixed configuration or per-run factory) by registry name."""
+    if name not in WORKLOAD_REGISTRY:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOAD_REGISTRY)}")
+    return WORKLOAD_REGISTRY[name](**params)

@@ -1,0 +1,26 @@
+"""Persistence and table-rendering helpers."""
+
+from repro.io.serialization import (
+    load_result_summary,
+    load_rounds_npz,
+    load_trajectory_npz,
+    save_result_summary,
+    save_rounds_npz,
+    save_trajectory_npz,
+)
+from repro.io.plots import ascii_plot, histogram, sparkline
+from repro.io.tables import render_kv, render_table
+
+__all__ = [
+    "save_result_summary",
+    "load_result_summary",
+    "save_trajectory_npz",
+    "load_trajectory_npz",
+    "save_rounds_npz",
+    "load_rounds_npz",
+    "render_table",
+    "render_kv",
+    "sparkline",
+    "ascii_plot",
+    "histogram",
+]

@@ -1,0 +1,105 @@
+"""Terminal-friendly plotting helpers (no matplotlib dependency).
+
+The library runs in headless/CI environments, so "figures" are rendered as
+Unicode sparklines and simple ASCII scatter/line charts.  Used by the
+examples and by ``repro-consensus sweep`` output; all functions return plain
+strings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+__all__ = ["sparkline", "ascii_plot", "histogram"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render a numeric series as a one-line Unicode sparkline.
+
+    ``width`` (optional) down-samples the series to at most that many points
+    by block averaging.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    vals = [float(v) for v in values if not math.isnan(float(v))]
+    if not vals:
+        return ""
+    if width is not None and width > 0 and len(vals) > width:
+        block = len(vals) / width
+        vals = [
+            sum(vals[int(i * block):max(int((i + 1) * block), int(i * block) + 1)])
+            / max(len(vals[int(i * block):max(int((i + 1) * block), int(i * block) + 1)]), 1)
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_CHARS[0] * len(vals)
+    scale = (len(_SPARK_CHARS) - 1) / (hi - lo)
+    return "".join(_SPARK_CHARS[int(round((v - lo) * scale))] for v in vals)
+
+
+def ascii_plot(xs: Sequence[float], ys: Sequence[float], width: int = 60,
+               height: int = 15, label: str = "") -> str:
+    """A minimal ASCII scatter/line chart of ``ys`` against ``xs``.
+
+    Points are marked with ``*``; the y-range is printed on the left, the
+    x-range underneath.  Intended for quick visual checks of growth shapes
+    in terminals and logs, not for publication.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    pts = [(float(x), float(y)) for x, y in zip(xs, ys)
+           if not (math.isnan(float(x)) or math.isnan(float(y)))]
+    if not pts:
+        return "(no data)"
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be at least 2")
+    x_lo, x_hi = min(p[0] for p in pts), max(p[0] for p in pts)
+    y_lo, y_hi = min(p[1] for p in pts), max(p[1] for p in pts)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in pts:
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"{y_hi:10.2f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:10.2f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(" " * 12 + f"{x_lo:<.6g}" + " " * max(1, width - 16) + f"{x_hi:>.6g}")
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], bins: int = 10, width: int = 40,
+              title: str = "") -> str:
+    """A horizontal ASCII histogram of a numeric sample."""
+    vals = [float(v) for v in values if not math.isnan(float(v))]
+    if not vals:
+        return "(no data)"
+    if bins < 1:
+        raise ValueError("bins must be positive")
+    lo, hi = min(vals), max(vals)
+    span = (hi - lo) or 1.0
+    counts = [0] * bins
+    for v in vals:
+        idx = min(int((v - lo) / span * bins), bins - 1)
+        counts[idx] += 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        left = lo + span * i / bins
+        right = lo + span * (i + 1) / bins
+        bar = "█" * (0 if peak == 0 else int(round(count / peak * width)))
+        lines.append(f"[{left:9.2f}, {right:9.2f}) {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Persistence of runs, trajectories and sweep results.
+
+JSON is used for anything human-inspectable (experiment reports, run
+summaries); ``.npz`` is used for bulk numeric data (trajectories, batched
+round samples).  Both formats round-trip through the loaders in this module.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.state import Configuration
+from repro.engine.run import SimulationResult
+from repro.engine.trajectory import Trajectory
+
+__all__ = [
+    "save_result_summary",
+    "load_result_summary",
+    "save_trajectory_npz",
+    "load_trajectory_npz",
+    "save_rounds_npz",
+    "load_rounds_npz",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def save_result_summary(result: SimulationResult, path: str | Path) -> Path:
+    """Write a run's flat summary (not its trajectory) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_jsonable(result.summary()), indent=2))
+    return path
+
+
+def load_result_summary(path: str | Path) -> Dict[str, Any]:
+    """Load a summary written by :func:`save_result_summary`."""
+    return json.loads(Path(path).read_text())
+
+
+def save_trajectory_npz(trajectory: Trajectory, path: str | Path) -> Path:
+    """Persist a trajectory's metric series (and full snapshots if present)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: Dict[str, np.ndarray] = {}
+    if trajectory.metrics:
+        for name in ("support_size", "agreement", "minority", "median_value",
+                     "majority_value"):
+            arrays[name] = trajectory.series(name)
+        arrays["round"] = np.array([m.round for m in trajectory.metrics], dtype=np.int64)
+    if trajectory.configurations:
+        arrays["configurations"] = np.stack(
+            [np.asarray(c.values) for c in trajectory.configurations])
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_trajectory_npz(path: str | Path) -> Dict[str, np.ndarray]:
+    """Load trajectory arrays saved by :func:`save_trajectory_npz`."""
+    with np.load(Path(path)) as data:
+        return {k: np.array(v) for k, v in data.items()}
+
+
+def save_rounds_npz(rounds_by_label: Dict[str, np.ndarray], path: str | Path) -> Path:
+    """Persist per-cell convergence-round samples (one array per label)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    safe = {label.replace("/", "_"): np.asarray(arr, dtype=np.float64)
+            for label, arr in rounds_by_label.items()}
+    np.savez_compressed(path, **safe)
+    return path
+
+
+def load_rounds_npz(path: str | Path) -> Dict[str, np.ndarray]:
+    """Load round samples saved by :func:`save_rounds_npz`."""
+    with np.load(Path(path)) as data:
+        return {k: np.array(v) for k, v in data.items()}

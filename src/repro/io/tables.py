@@ -1,0 +1,31 @@
+"""Plain-text and markdown table helpers (shared by CLI and reports).
+
+Thin wrappers over :mod:`repro.experiments.reporting` kept in ``repro.io`` so
+that callers that only need formatting do not import the experiment stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+__all__ = ["render_table", "render_kv"]
+
+
+def render_table(rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None,
+                 markdown: bool = True) -> str:
+    """Render dict rows as a table (delegates to experiments.reporting)."""
+    from repro.experiments.reporting import format_table
+
+    return format_table(rows, columns=columns, markdown=markdown)
+
+
+def render_kv(data: Dict[str, Any], title: Optional[str] = None) -> str:
+    """Render a flat key/value mapping as an aligned block."""
+    if not data:
+        return "(empty)"
+    width = max(len(str(k)) for k in data)
+    lines = [f"{str(k).ljust(width)} : {v}" for k, v in data.items()]
+    if title:
+        lines.insert(0, title)
+        lines.insert(1, "-" * len(title))
+    return "\n".join(lines)

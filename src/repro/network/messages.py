@@ -1,0 +1,93 @@
+"""Message types of the synchronous message-passing model.
+
+Each round of the paper's model is a pull-based exchange: a process contacts
+two random processes, receives their current values, and updates locally.
+The agent-level simulator makes this explicit with two message types:
+
+* :class:`ValueRequest` — "please tell me your current value", addressed to a
+  destination process, carrying the sender's *private* return handle (the
+  receiver never learns a global ID — anonymity is preserved because the
+  handle is opaque to it).
+* :class:`ValueResponse` — the destination's reply carrying its value.
+
+A :class:`DroppedRequest` record is produced when a process receives more
+requests than the per-round cap (Θ(log n) in the paper's model) and the
+scheduler — or an adversary acting as the scheduler — drops the excess.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ValueRequest", "ValueResponse", "DroppedRequest", "MessageStats"]
+
+_message_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class ValueRequest:
+    """A pull request for the destination's current value."""
+
+    sender: int
+    destination: int
+    round: int
+    request_id: int = field(default_factory=lambda: next(_message_counter))
+
+    def __post_init__(self) -> None:
+        if self.sender < 0 or self.destination < 0:
+            raise ValueError("process indices must be non-negative")
+
+
+@dataclass(frozen=True)
+class ValueResponse:
+    """The reply to a :class:`ValueRequest`, carrying the responder's value."""
+
+    responder: int
+    destination: int
+    round: int
+    value: int
+    request_id: int
+
+    def __post_init__(self) -> None:
+        if self.responder < 0 or self.destination < 0:
+            raise ValueError("process indices must be non-negative")
+
+
+@dataclass(frozen=True)
+class DroppedRequest:
+    """A request that exceeded the receiver's per-round capacity and was dropped."""
+
+    request: ValueRequest
+    reason: str = "capacity"
+
+
+@dataclass
+class MessageStats:
+    """Per-run message accounting maintained by the scheduler."""
+
+    requests_sent: int = 0
+    responses_sent: int = 0
+    requests_dropped: int = 0
+
+    def record_request(self) -> None:
+        self.requests_sent += 1
+
+    def record_response(self) -> None:
+        self.responses_sent += 1
+
+    def record_drop(self, count: int = 1) -> None:
+        self.requests_dropped += count
+
+    @property
+    def total_messages(self) -> int:
+        return self.requests_sent + self.responses_sent
+
+    def as_dict(self) -> dict:
+        return {
+            "requests_sent": self.requests_sent,
+            "responses_sent": self.responses_sent,
+            "requests_dropped": self.requests_dropped,
+            "total_messages": self.total_messages,
+        }

@@ -1,0 +1,100 @@
+"""The process (node) object of the agent-level simulator.
+
+Each :class:`Process` holds exactly the local state the paper's model allows:
+
+* its current value ``v_i`` (an integer of O(log n) bits),
+* a *private numbering* of the other processes — a random permutation that
+  maps local port numbers to global simulator indices.  The process itself
+  only ever reasons in terms of ports; the simulator translates.  This
+  implements the anonymity assumption: "no unique process IDs are known, but
+  rather each process has its own, private numbering of the other processes."
+
+Per round, a process
+
+1. draws ``k`` ports uniformly at random (``choose_contacts``),
+2. sends a :class:`~repro.network.messages.ValueRequest` to each,
+3. answers the (capped) requests it received (``respond``), and
+4. on receiving the responses, applies its rule (``update``).
+
+Missing responses (dropped by the capacity cap) are substituted with the
+process's own value — the most conservative local fallback, equivalent to the
+process having sampled itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.rules import Rule
+
+__all__ = ["Process"]
+
+
+class Process:
+    """One process of the anonymous message-passing system."""
+
+    def __init__(self, index: int, value: int, n: int, rule: Rule,
+                 rng: np.random.Generator) -> None:
+        self.index = int(index)
+        self.value = int(value)
+        self.n = int(n)
+        self.rule = rule
+        self._rng = rng
+        # Private numbering: port p corresponds to global index _ports[p].
+        # The permutation is private to this process and never shared.
+        self._ports = rng.permutation(n).astype(np.int64)
+        self._pending_values: List[int] = []
+        self._expected_responses = 0
+
+    # ------------------------------------------------------------------ #
+    # round protocol
+    # ------------------------------------------------------------------ #
+    def choose_contacts(self) -> np.ndarray:
+        """Draw this round's contacts, returned as *global* indices.
+
+        The process draws ``k`` ports uniformly at random with replacement
+        (matching the paper's "uniformly and independently at random among
+        all processes (including itself)") and the private numbering
+        translates them to simulator indices.
+        """
+        ports = self._rng.integers(0, self.n, size=self.rule.num_choices)
+        contacts = self._ports[ports]
+        self._expected_responses = int(contacts.shape[0])
+        self._pending_values = []
+        return contacts
+
+    def respond(self, round_index: int) -> int:
+        """Answer a value request: simply report the current value."""
+        return self.value
+
+    def receive_value(self, value: int) -> None:
+        """Accumulate one response for this round."""
+        self._pending_values.append(int(value))
+
+    def update(self) -> int:
+        """Apply the rule to (own value, received values) and adopt the result.
+
+        If some responses were dropped, the process substitutes its own value
+        for each missing response (a self-sample), keeping the rule's arity
+        intact.
+        """
+        received = list(self._pending_values)
+        while len(received) < self.rule.num_choices:
+            received.append(self.value)
+        received = received[: self.rule.num_choices]
+        self.value = int(self.rule.apply_single(self.value, received, self._rng))
+        self._pending_values = []
+        self._expected_responses = 0
+        return self.value
+
+    # ------------------------------------------------------------------ #
+    # adversarial interface
+    # ------------------------------------------------------------------ #
+    def corrupt(self, new_value: int) -> None:
+        """Overwrite the local value (adversarial state change)."""
+        self.value = int(new_value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Process(index={self.index}, value={self.value})"

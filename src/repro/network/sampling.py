@@ -1,0 +1,72 @@
+"""Two-choice sampling utilities shared by the simulators and analyses.
+
+Small helpers around the sampling step of the protocol: building contact
+matrices, converting contact matrices into "who chose whom" in-degree counts
+(used to validate the gravity function), and adversarial manipulation of a
+fixed set of choices (the Section 3 adversary changes *choices*, not values).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "sample_two_choices",
+    "sample_k_choices",
+    "choice_in_degrees",
+    "override_choices",
+]
+
+
+def sample_two_choices(n: int, rng: np.random.Generator,
+                       include_self: bool = True) -> np.ndarray:
+    """An ``(n, 2)`` matrix of uniformly random contacts.
+
+    ``include_self=True`` reproduces the paper's model (sampling with
+    replacement over all processes, self included).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if include_self or n == 1:
+        return rng.integers(0, n, size=(n, 2), dtype=np.int64)
+    own = np.arange(n, dtype=np.int64)[:, None]
+    draws = rng.integers(0, n - 1, size=(n, 2), dtype=np.int64)
+    return draws + (draws >= own)
+
+
+def sample_k_choices(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """An ``(n, k)`` matrix of uniformly random contacts with replacement."""
+    if n <= 0 or k <= 0:
+        raise ValueError("n and k must be positive")
+    return rng.integers(0, n, size=(n, k), dtype=np.int64)
+
+
+def choice_in_degrees(samples: np.ndarray, n: int) -> np.ndarray:
+    """How many times each process was chosen as a contact this round.
+
+    The expected in-degree of every process is exactly ``k`` (each of the
+    ``n·k`` draws is uniform), a fact used by the sampling tests; the
+    *median-choice* in-degree is what the gravity function describes.
+    """
+    samples = np.asarray(samples)
+    return np.bincount(samples.ravel(), minlength=n)[:n]
+
+
+def override_choices(samples: np.ndarray, victims: np.ndarray,
+                     new_choices: np.ndarray) -> np.ndarray:
+    """Replace the choice rows of ``victims`` with ``new_choices``.
+
+    Implements the Section 3 adversary that, after all balls made their
+    random choices, "is allowed to change the choices of at most sqrt(n)
+    balls".  Returns a new array; the input is untouched.
+    """
+    samples = np.asarray(samples)
+    victims = np.asarray(victims, dtype=np.int64)
+    new_choices = np.asarray(new_choices, dtype=np.int64)
+    if new_choices.shape != (victims.shape[0], samples.shape[1]):
+        raise ValueError("new_choices must have shape (len(victims), k)")
+    out = np.array(samples)
+    out[victims] = new_choices
+    return out

@@ -1,0 +1,136 @@
+"""Synchronous round scheduler with per-process request caps.
+
+The paper's communication model: "In each round, every process can contact at
+most a logarithmic number of other processes, exchange a logarithmic amount
+of information with each of them ...  A process with more than a logarithmic
+number of requests directed to it will only receive a logarithmic number of
+them, possibly selected by an adversary, and the others are dropped."
+
+The :class:`RoundScheduler` implements exactly this delivery semantics:
+
+1. collect all :class:`~repro.network.messages.ValueRequest` messages of the
+   round,
+2. for every destination, keep at most ``capacity`` of them — either a random
+   subset (default) or the subset chosen by a drop-selection callback (the
+   "possibly selected by an adversary" clause),
+3. deliver responses for the survivors and report the drops.
+
+With the median rule each process issues only two requests per round, so for
+the default capacity ``c·log2(n) ≥ 2`` drops are rare (they require ~log n
+processes to all pick the same target); the statistics are still tracked and
+exposed so the tests can exercise the overload path explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.messages import DroppedRequest, MessageStats, ValueRequest, ValueResponse
+
+__all__ = ["RoundScheduler", "default_capacity"]
+
+DropSelector = Callable[[int, List[ValueRequest], int, np.random.Generator],
+                        List[ValueRequest]]
+
+
+def default_capacity(n: int, constant: float = 4.0, floor: int = 2) -> int:
+    """The per-round request cap ``max(floor, ceil(constant · log2 n))``."""
+    if n <= 1:
+        return floor
+    return max(floor, int(math.ceil(constant * math.log2(n))))
+
+
+class RoundScheduler:
+    """Deliver one round of requests/responses under the capacity constraint.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    capacity:
+        Maximum number of requests any process serves per round; ``None``
+        selects :func:`default_capacity`.
+    drop_selector:
+        Optional callback ``(destination, requests, capacity, rng) -> kept``
+        deciding *which* requests survive when a process is overloaded; the
+        default keeps a uniformly random subset.  Supplying an adversarial
+        selector models the "possibly selected by an adversary" clause.
+    """
+
+    def __init__(self, n: int, capacity: Optional[int] = None,
+                 drop_selector: Optional[DropSelector] = None) -> None:
+        if n <= 0:
+            raise ValueError("scheduler needs at least one process")
+        self.n = int(n)
+        self.capacity = default_capacity(n) if capacity is None else int(capacity)
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.drop_selector = drop_selector
+        self.stats = MessageStats()
+
+    # ------------------------------------------------------------------ #
+    def deliver(
+        self,
+        requests: Sequence[ValueRequest],
+        values: Sequence[int],
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> Tuple[List[ValueResponse], List[DroppedRequest]]:
+        """Apply the capacity rule and produce responses for surviving requests.
+
+        Parameters
+        ----------
+        requests:
+            All requests issued this round.
+        values:
+            Current value of every process (indexed by process id); the
+            responder's entry is copied into its responses.
+        round_index:
+            Current round number (stamped on the responses).
+
+        Returns
+        -------
+        (responses, dropped)
+        """
+        by_destination: Dict[int, List[ValueRequest]] = {}
+        for req in requests:
+            if not 0 <= req.destination < self.n:
+                raise ValueError(f"request destination {req.destination} out of range")
+            by_destination.setdefault(req.destination, []).append(req)
+            self.stats.record_request()
+
+        responses: List[ValueResponse] = []
+        dropped: List[DroppedRequest] = []
+        for dest, dest_requests in by_destination.items():
+            if len(dest_requests) > self.capacity:
+                kept = self._select(dest, dest_requests, rng)
+                kept_ids = {r.request_id for r in kept}
+                for req in dest_requests:
+                    if req.request_id not in kept_ids:
+                        dropped.append(DroppedRequest(request=req))
+                self.stats.record_drop(len(dest_requests) - len(kept))
+            else:
+                kept = dest_requests
+            for req in kept:
+                responses.append(ValueResponse(
+                    responder=dest,
+                    destination=req.sender,
+                    round=round_index,
+                    value=int(values[dest]),
+                    request_id=req.request_id,
+                ))
+                self.stats.record_response()
+        return responses, dropped
+
+    def _select(self, destination: int, requests: List[ValueRequest],
+                rng: np.random.Generator) -> List[ValueRequest]:
+        if self.drop_selector is not None:
+            kept = self.drop_selector(destination, list(requests), self.capacity, rng)
+            if len(kept) > self.capacity:
+                kept = kept[: self.capacity]
+            return kept
+        idx = rng.choice(len(requests), size=self.capacity, replace=False)
+        return [requests[i] for i in sorted(idx)]

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import Configuration
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_all_distinct() -> Configuration:
+    """All-distinct configuration with 64 processes."""
+    return Configuration.all_distinct(64)
+
+
+@pytest.fixture
+def small_two_bins() -> Configuration:
+    """Balanced two-value configuration with 64 processes."""
+    return Configuration.two_bins(64, minority=32)
+
+
+@pytest.fixture
+def medium_two_bins() -> Configuration:
+    """Balanced two-value configuration with 512 processes."""
+    return Configuration.two_bins(512, minority=256)

@@ -1,0 +1,218 @@
+"""Tests for the concrete adversary strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.base import NullAdversary
+from repro.adversary.strategies import (
+    ADVERSARY_REGISTRY,
+    BalancingAdversary,
+    HidingAdversary,
+    RandomCorruptionAdversary,
+    RevivingAdversary,
+    StickyAdversary,
+    SwitchingAdversary,
+    TargetedMedianAdversary,
+    make_adversary,
+)
+
+
+ADMISSIBLE = np.array([0, 1, 2, 3])
+
+
+class TestMakeAdversary:
+    def test_registry_contents(self):
+        for name in ("null", "balancing", "reviving", "hiding", "switching",
+                     "random", "targeted-median", "sticky"):
+            assert name in ADVERSARY_REGISTRY
+
+    def test_null_by_name(self):
+        assert isinstance(make_adversary("null"), NullAdversary)
+
+    def test_zero_budget_is_null(self):
+        assert isinstance(make_adversary("balancing", budget=0), NullAdversary)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_adversary("nope", budget=1)
+
+    def test_kwargs_forwarded(self):
+        adv = make_adversary("reviving", budget=2, delay=7, target_value=3)
+        assert adv.delay == 7 and adv.target_value == 3
+
+
+class TestBalancingAdversary:
+    def test_moves_leader_towards_runner_up(self, rng):
+        adv = BalancingAdversary(budget=10)
+        values = np.array([0] * 30 + [1] * 10, dtype=np.int64)
+        out = adv.corrupt(values, 1, ADMISSIBLE, rng)
+        # gap is 20, adversary should move up to 10 processes from 0 to 1
+        assert np.count_nonzero(out == 1) > 10
+        assert np.count_nonzero(out == 1) <= 20
+
+    def test_respects_budget(self, rng):
+        adv = BalancingAdversary(budget=3)
+        values = np.array([0] * 35 + [1] * 5, dtype=np.int64)
+        out = adv.corrupt(values, 1, ADMISSIBLE, rng)
+        assert np.count_nonzero(out != values) <= 3
+
+    def test_does_nothing_when_balanced(self, rng):
+        adv = BalancingAdversary(budget=5)
+        values = np.array([0] * 20 + [1] * 20, dtype=np.int64)
+        out = adv.corrupt(values, 1, ADMISSIBLE, rng)
+        assert np.array_equal(out, values)
+
+    def test_reseeds_after_consensus(self, rng):
+        adv = BalancingAdversary(budget=4)
+        values = np.zeros(30, dtype=np.int64)
+        out = adv.corrupt(values, 1, ADMISSIBLE, rng)
+        assert np.count_nonzero(out != 0) == 4
+
+    def test_consensus_single_admissible_value_noop(self, rng):
+        adv = BalancingAdversary(budget=4)
+        values = np.zeros(30, dtype=np.int64)
+        out = adv.corrupt(values, 1, np.array([0]), rng)
+        assert np.array_equal(out, values)
+
+    def test_maintains_balance_over_time(self, rng):
+        # with a large budget the adversary should keep the two-bin gap small
+        from repro.core.median_rule import MedianRule
+        adv = BalancingAdversary(budget=200)
+        rule = MedianRule()
+        values = np.array([0] * 100 + [1] * 100, dtype=np.int64)
+        for t in range(1, 30):
+            values = adv.corrupt(values, t, np.array([0, 1]), rng)
+            values = rule.step(values, rng)
+        counts = np.bincount(values, minlength=2)
+        assert abs(int(counts[0]) - int(counts[1])) <= 2 * 200
+
+
+class TestRevivingAdversary:
+    def test_waits_for_delay(self, rng):
+        adv = RevivingAdversary(budget=2, delay=5, target_value=0)
+        values = np.ones(10, dtype=np.int64)
+        out = adv.corrupt(values, 3, ADMISSIBLE, rng)
+        assert np.array_equal(out, values)
+
+    def test_acts_after_delay(self, rng):
+        adv = RevivingAdversary(budget=2, delay=5, target_value=0)
+        values = np.ones(10, dtype=np.int64)
+        out = adv.corrupt(values, 5, ADMISSIBLE, rng)
+        assert np.count_nonzero(out == 0) == 2
+
+    def test_default_target_is_minimum_admissible(self, rng):
+        adv = RevivingAdversary(budget=1)
+        values = np.full(10, 3, dtype=np.int64)
+        out = adv.corrupt(values, 0, ADMISSIBLE, rng)
+        assert np.count_nonzero(out == 0) == 1
+
+    def test_noop_when_everything_is_target(self, rng):
+        adv = RevivingAdversary(budget=3, target_value=0)
+        values = np.zeros(10, dtype=np.int64)
+        out = adv.corrupt(values, 0, ADMISSIBLE, rng)
+        assert np.array_equal(out, values)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            RevivingAdversary(budget=1, delay=-1)
+
+
+class TestHidingAdversary:
+    def test_pins_fixed_victims_every_round(self, rng):
+        adv = HidingAdversary(budget=3, hidden_value=3)
+        values = np.zeros(20, dtype=np.int64)
+        out1 = adv.corrupt(values, 1, ADMISSIBLE, rng)
+        victims1 = set(np.flatnonzero(out1 == 3).tolist())
+        out2 = adv.corrupt(np.zeros(20, dtype=np.int64), 2, ADMISSIBLE, rng)
+        victims2 = set(np.flatnonzero(out2 == 3).tolist())
+        assert victims1 == victims2
+        assert len(victims1) == 3
+
+    def test_default_hidden_value_is_max(self, rng):
+        adv = HidingAdversary(budget=2)
+        out = adv.corrupt(np.zeros(10, dtype=np.int64), 1, ADMISSIBLE, rng)
+        assert np.count_nonzero(out == 3) == 2
+
+    def test_reset_reselects_victims(self, rng):
+        adv = HidingAdversary(budget=2, hidden_value=1)
+        adv.corrupt(np.zeros(50, dtype=np.int64), 1, ADMISSIBLE, rng)
+        first = set(adv._victims.tolist())
+        adv.reset()
+        adv.corrupt(np.zeros(50, dtype=np.int64), 1, ADMISSIBLE, rng)
+        # victims re-drawn (may coincide with tiny probability; 2-of-50 twice equal is unlikely)
+        assert adv._victims is not None
+        assert len(adv._victims) == 2
+        assert adv.ledger.total == 2
+
+
+class TestSwitchingAdversary:
+    def test_alternates_extremes(self, rng):
+        adv = SwitchingAdversary(budget=4)
+        values = np.full(20, 2, dtype=np.int64)
+        out_even = adv.corrupt(values, 0, ADMISSIBLE, rng)
+        out_odd = adv.corrupt(values, 1, ADMISSIBLE, rng)
+        assert np.count_nonzero(out_even == 0) == 4
+        assert np.count_nonzero(out_odd == 3) == 4
+
+    def test_budget_respected(self, rng):
+        adv = SwitchingAdversary(budget=2)
+        out = adv.corrupt(np.full(10, 1, dtype=np.int64), 0, ADMISSIBLE, rng)
+        assert np.count_nonzero(out != 1) <= 2
+
+
+class TestRandomCorruptionAdversary:
+    def test_only_admissible_values_written(self, rng):
+        adv = RandomCorruptionAdversary(budget=5)
+        values = np.full(30, 9, dtype=np.int64)
+        out = adv.corrupt(values, 1, ADMISSIBLE, rng)
+        changed = out[out != 9]
+        assert set(changed.tolist()) <= set(ADMISSIBLE.tolist())
+        assert changed.shape[0] <= 5
+
+    def test_budget_larger_than_n(self, rng):
+        adv = RandomCorruptionAdversary(budget=100)
+        values = np.zeros(10, dtype=np.int64)
+        out = adv.corrupt(values, 1, ADMISSIBLE, rng)
+        assert out.shape == (10,)
+        assert adv.ledger.verify()
+
+
+class TestTargetedMedianAdversary:
+    def test_targets_median_holders(self, rng):
+        adv = TargetedMedianAdversary(budget=3)
+        values = np.array([0] * 5 + [2] * 10 + [3] * 5, dtype=np.int64)
+        out = adv.corrupt(values, 1, ADMISSIBLE, rng)
+        # median value is 2; some of its holders pushed to an extreme (0 or 3)
+        assert np.count_nonzero(out == 2) >= 7
+        assert np.count_nonzero(out != values) <= 3
+        changed_to = set(out[out != values].tolist())
+        assert changed_to <= {0, 3}
+
+    def test_works_when_no_median_holders(self, rng):
+        # degenerate: all values equal (median holders = everyone)
+        adv = TargetedMedianAdversary(budget=2)
+        out = adv.corrupt(np.zeros(10, dtype=np.int64), 1, ADMISSIBLE, rng)
+        assert np.count_nonzero(out != 0) <= 2
+
+
+class TestStickyAdversary:
+    def test_victims_fixed_across_rounds(self, rng):
+        adv = StickyAdversary(budget=3, pinned_value=2)
+        out1 = adv.corrupt(np.zeros(30, dtype=np.int64), 1, ADMISSIBLE, rng)
+        out2 = adv.corrupt(np.zeros(30, dtype=np.int64), 2, ADMISSIBLE, rng)
+        assert np.array_equal(np.flatnonzero(out1 == 2), np.flatnonzero(out2 == 2))
+
+    def test_default_pin_is_max_value(self, rng):
+        adv = StickyAdversary(budget=2)
+        out = adv.corrupt(np.zeros(10, dtype=np.int64), 1, ADMISSIBLE, rng)
+        assert np.count_nonzero(out == 3) == 2
+
+    def test_ledger_within_budget_over_many_rounds(self, rng):
+        adv = StickyAdversary(budget=2, pinned_value=1)
+        values = np.zeros(20, dtype=np.int64)
+        for t in range(1, 20):
+            values = adv.corrupt(values, t, ADMISSIBLE, rng)
+        assert adv.ledger.verify()
+        assert adv.ledger.max_in_round() <= 2

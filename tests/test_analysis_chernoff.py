@@ -1,0 +1,133 @@
+"""Tests for repro.analysis.chernoff (Lemmas 5-7 and the Hoeffding bound)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.chernoff import (
+    chernoff_exponential_tail_sum,
+    chernoff_geometric_sum,
+    chernoff_lower_bernoulli,
+    chernoff_lower_bernoulli_exact,
+    chernoff_upper_bernoulli,
+    chernoff_upper_bernoulli_exact,
+    hoeffding_bound,
+)
+
+
+class TestBernoulliBounds:
+    def test_bounds_at_most_one(self):
+        for mu in (0.1, 1, 10, 100):
+            for delta in (0.01, 0.5, 1.0, 3.0):
+                assert chernoff_upper_bernoulli(mu, delta) <= 1.0
+                assert chernoff_upper_bernoulli_exact(mu, delta) <= 1.0
+
+    def test_monotone_decreasing_in_mu(self):
+        vals = [chernoff_upper_bernoulli(mu, 0.5) for mu in (1, 10, 100, 1000)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_monotone_decreasing_in_delta(self):
+        vals = [chernoff_upper_bernoulli(50, d) for d in (0.1, 0.5, 1.0, 2.0)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_exact_form_tighter_or_equal_for_small_delta(self):
+        # for delta <= 1 the simplified e^{-delta^2 mu / 3} is weaker (larger)
+        for delta in (0.1, 0.4, 0.9):
+            assert (chernoff_upper_bernoulli_exact(40, delta)
+                    <= chernoff_upper_bernoulli(40, delta) + 1e-12)
+
+    def test_nonpositive_delta_trivial(self):
+        assert chernoff_upper_bernoulli(10, 0) == 1.0
+        assert chernoff_upper_bernoulli_exact(10, -1) == 1.0
+
+    def test_negative_mu_rejected(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_bernoulli(-1, 0.5)
+
+    def test_lower_tail_delta_domain(self):
+        with pytest.raises(ValueError):
+            chernoff_lower_bernoulli(10, 0.0)
+        with pytest.raises(ValueError):
+            chernoff_lower_bernoulli(10, 1.0)
+
+    def test_lower_tail_bounds_empirical_frequency(self):
+        # empirical check of Lemma 5: tail frequency never exceeds the bound
+        rng = np.random.default_rng(0)
+        n, p, trials = 400, 0.3, 4000
+        mu = n * p
+        samples = rng.binomial(n, p, size=trials)
+        for delta in (0.2, 0.4):
+            freq = np.mean(samples <= (1 - delta) * mu)
+            assert freq <= chernoff_lower_bernoulli(mu, delta) + 0.02
+
+    def test_upper_tail_bounds_empirical_frequency(self):
+        rng = np.random.default_rng(1)
+        n, p, trials = 400, 0.3, 4000
+        mu = n * p
+        samples = rng.binomial(n, p, size=trials)
+        for delta in (0.2, 0.4):
+            freq = np.mean(samples >= (1 + delta) * mu)
+            assert freq <= chernoff_upper_bernoulli_exact(mu, delta) + 0.02
+
+    def test_exact_lower_bound_formula(self):
+        # spot check against the closed form
+        mu, delta = 20.0, 0.5
+        expected = (np.exp(-delta) / (1 - delta) ** (1 - delta)) ** mu
+        assert chernoff_lower_bernoulli_exact(mu, delta) == pytest.approx(expected)
+
+
+class TestGeometricAndExponentialTails:
+    def test_geometric_bound_at_most_one(self):
+        assert chernoff_geometric_sum(10, 0.5, 0.1) <= 1.0
+
+    def test_geometric_bound_monotone_in_epsilon(self):
+        vals = [chernoff_geometric_sum(50, 0.3, eps) for eps in (0.1, 0.5, 1.0, 2.0)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_geometric_bound_empirical(self):
+        rng = np.random.default_rng(2)
+        n, delta, trials = 100, 0.4, 3000
+        sums = rng.geometric(delta, size=(trials, n)).sum(axis=1)
+        for eps in (0.2, 0.5):
+            freq = np.mean(sums >= (1 + eps) * n / delta)
+            assert freq <= chernoff_geometric_sum(n, delta, eps) + 0.02
+
+    def test_geometric_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            chernoff_geometric_sum(0, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            chernoff_geometric_sum(10, 1.5, 0.1)
+
+    def test_exponential_tail_matches_geometric_shape(self):
+        # Lemma 7's bound has the same exponential form as Lemma 6's
+        assert chernoff_exponential_tail_sum(50, 0.3, 1.0, 0.5) == pytest.approx(
+            chernoff_geometric_sum(50, 0.3, 0.5))
+
+    def test_exponential_tail_invalid(self):
+        with pytest.raises(ValueError):
+            chernoff_exponential_tail_sum(10, 0.3, -1.0, 0.5)
+
+
+class TestHoeffding:
+    def test_at_most_one(self):
+        assert hoeffding_bound(10, 0.0) == 1.0
+        assert hoeffding_bound(10, 0.1) <= 1.0
+
+    def test_decreasing_in_t(self):
+        vals = [hoeffding_bound(100, t) for t in (1, 5, 10, 20)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_empirical(self):
+        rng = np.random.default_rng(3)
+        n, trials = 200, 3000
+        sums = rng.random((trials, n)).sum(axis=1)
+        t = 15.0
+        freq = np.mean(np.abs(sums - n / 2) >= t)
+        assert freq <= hoeffding_bound(n, t) + 0.02
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hoeffding_bound(0, 1.0)
+        with pytest.raises(ValueError):
+            hoeffding_bound(10, 1.0, value_range=0)

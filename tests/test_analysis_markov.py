@@ -1,0 +1,156 @@
+"""Tests for repro.analysis.markov: the exact two-bin absorbing chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.markov import (
+    TwoBinChain,
+    absorption_probabilities,
+    consensus_time_distribution,
+    expected_absorption_time,
+    two_bin_transition_matrix,
+    verify_growth_condition,
+)
+from repro.engine.batch import run_batch
+from repro.core.state import Configuration
+
+
+class TestTransitionMatrix:
+    def test_rows_are_distributions(self):
+        P = two_bin_transition_matrix(20)
+        assert P.shape == (21, 21)
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert np.all(P >= 0)
+
+    def test_absorbing_states(self):
+        P = two_bin_transition_matrix(15)
+        assert P[0, 0] == 1.0
+        assert P[15, 15] == 1.0
+
+    def test_symmetry_under_relabelling(self):
+        # the chain is symmetric: P[l, l'] == P[n-l, n-l']
+        n = 12
+        P = two_bin_transition_matrix(n)
+        assert np.allclose(P[1:-1, :], P[::-1, ::-1][1:-1, :], atol=1e-12)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            two_bin_transition_matrix(0)
+
+
+class TestAbsorption:
+    def test_probabilities_sum_to_one(self):
+        for l in (1, 5, 10, 19):
+            p0, pn = absorption_probabilities(20, l)
+            assert p0 + pn == pytest.approx(1.0)
+
+    def test_boundary_states(self):
+        assert absorption_probabilities(20, 0) == (1.0, 0.0)
+        assert absorption_probabilities(20, 20) == (0.0, 1.0)
+
+    def test_symmetric_start_is_fair(self):
+        p0, pn = absorption_probabilities(20, 10)
+        assert p0 == pytest.approx(0.5, abs=1e-9)
+
+    def test_minority_usually_loses(self):
+        p0, pn = absorption_probabilities(30, 5)
+        assert p0 > 0.95            # the bin with 5 of 30 balls dies out w.h.p.
+
+    def test_monotone_in_initial_load(self):
+        n = 24
+        probs = [absorption_probabilities(n, l)[1] for l in range(0, n + 1, 4)]
+        assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            absorption_probabilities(10, 11)
+
+
+class TestAbsorptionTimes:
+    def test_zero_from_absorbing_states(self):
+        assert expected_absorption_time(20, 0) == 0.0
+        assert expected_absorption_time(20, 20) == 0.0
+
+    def test_positive_from_transient(self):
+        assert expected_absorption_time(20, 10) > 1.0
+
+    def test_balanced_start_is_slowest(self):
+        n = 20
+        times = [expected_absorption_time(n, l) for l in range(1, n)]
+        assert int(np.argmax(times)) + 1 in (n // 2, n // 2 + 1, n // 2 - 1)
+
+    def test_logarithmic_growth_with_n(self):
+        # E[T] from the balanced state grows slowly (like log n), far below linear
+        t16 = expected_absorption_time(16, 8)
+        t64 = expected_absorption_time(64, 32)
+        assert t64 < 4 * t16          # quadrupling n far less than quadruples time
+        assert t64 > t16              # but it does grow
+
+    def test_matches_monte_carlo(self):
+        n, start = 30, 15
+        exact = expected_absorption_time(n, start)
+        batch = run_batch(Configuration.two_bins(n, minority=start), num_runs=300,
+                          seed=5, max_rounds=500)
+        assert batch.convergence_fraction == 1.0
+        assert batch.mean_rounds == pytest.approx(exact, rel=0.15)
+
+
+class TestConsensusTimeDistribution:
+    def test_monotone_cdf(self):
+        cdf = consensus_time_distribution(20, 10, horizon=60)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[0] == 0.0
+        assert cdf[-1] > 0.9
+
+    def test_starts_at_one_for_absorbing_start(self):
+        cdf = consensus_time_distribution(20, 0, horizon=5)
+        assert cdf[0] == pytest.approx(1.0)
+
+    def test_median_time_consistent_with_expectation(self):
+        n, start = 24, 12
+        cdf = consensus_time_distribution(n, start, horizon=200)
+        median_time = int(np.searchsorted(cdf, 0.5))
+        expected = expected_absorption_time(n, start)
+        assert 0.3 * expected <= median_time <= 2.5 * expected
+
+
+class TestTwoBinChainWrapper:
+    def test_fundamental_matrix_positive(self):
+        chain = TwoBinChain.build(12)
+        N = chain.fundamental_matrix()
+        assert np.all(N >= -1e-12)
+
+    def test_step_distribution_preserves_mass(self):
+        chain = TwoBinChain.build(12)
+        dist = np.zeros(13)
+        dist[6] = 1.0
+        out = chain.step_distribution(dist)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_step_distribution_shape_check(self):
+        chain = TwoBinChain.build(12)
+        with pytest.raises(ValueError):
+            chain.step_distribution(np.zeros(5))
+
+
+class TestGrowthCondition:
+    def test_drift_region_has_positive_c2(self):
+        # Lemma 8/9 premise: in the drift region sqrt(n) <= Delta <= n/4 the
+        # imbalance grows by a factor c1 > 1 with failure probability
+        # exp(-c2*Delta) for a uniformly positive c2.  (Closer to saturation
+        # the growth target collides with the absorbing boundary, so the
+        # region is capped at n/4 as in the paper's case analysis.)
+        n = 144
+        records = verify_growth_condition(n, c1=1.1)
+        drift_region = {l: r for l, r in records.items()
+                        if np.sqrt(n) <= r["delta"] <= n / 4}
+        assert drift_region, "no states in the drift region for this n"
+        assert all(r["implied_c2"] > 0.05 for r in drift_region.values())
+
+    def test_growth_probability_high_in_drift_region(self):
+        n = 144
+        records = verify_growth_condition(n, c1=1.1)
+        region = [r for r in records.values() if np.sqrt(n) <= r["delta"] <= n / 4]
+        assert region and all(r["prob_grow"] > 0.75 for r in region)

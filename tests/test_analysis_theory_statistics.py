@@ -1,0 +1,174 @@
+"""Tests for repro.analysis.theory and repro.analysis.statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    compare_predictors,
+    empirical_success_probability,
+    fit_scaling,
+    growth_ratio,
+    summarize_rounds,
+)
+from repro.analysis.theory import (
+    PREDICTORS,
+    adversary_budget_sqrt_n,
+    heavy_set_size,
+    phase_count,
+    predictor_for,
+    theorem1_predictor,
+    theorem3_predictor,
+    theorem4_predictor,
+)
+
+
+class TestPredictors:
+    def test_theorem1_is_log_n(self):
+        assert theorem1_predictor(1024) == pytest.approx(10.0)
+
+    def test_theorem3_combines_terms(self):
+        n, m = 1 << 16, 16
+        assert theorem3_predictor(n, m) == pytest.approx(4 * math.log2(16) + 16)
+
+    def test_theorem4_odd_even_split(self):
+        n = 1 << 16
+        assert theorem4_predictor(n, 17) < theorem4_predictor(n, 16)
+
+    def test_small_arguments_guarded(self):
+        assert theorem1_predictor(1) == 1.0
+        assert theorem3_predictor(2, 1) >= 1.0
+
+    def test_predictor_registry_callables(self):
+        for name, pred in PREDICTORS.items():
+            val = pred(1024, 8)
+            assert np.isfinite(val) and val > 0, name
+
+    def test_predictor_for_known_theorems(self):
+        assert predictor_for("thm1").name == "log_n"
+        assert predictor_for("thm3").name == "log_m_loglog_n_plus_log_n"
+        assert predictor_for("thm4_odd").name == "log_m_plus_loglog_n"
+        assert predictor_for("THM10").name == "log_n"
+
+    def test_predictor_for_unknown(self):
+        with pytest.raises(KeyError):
+            predictor_for("thm99")
+
+    def test_adversary_budget(self):
+        assert adversary_budget_sqrt_n(1024) == 32
+        assert adversary_budget_sqrt_n(1024, 0.25) == 8
+        assert adversary_budget_sqrt_n(4, 0.01) == 1   # floor at 1
+
+    def test_phase_count(self):
+        assert phase_count(16) == 5
+        assert phase_count(1) == 2
+        with pytest.raises(ValueError):
+            phase_count(0)
+
+    def test_heavy_set_size(self):
+        n = 1000
+        assert heavy_set_size(n) == math.ceil(math.sqrt(n * math.log(n)))
+        assert heavy_set_size(1) == 1
+
+
+class TestSummarizeRounds:
+    def test_basic_statistics(self):
+        s = summarize_rounds([10, 12, 14, 16, 18])
+        assert s.count == 5 and s.converged == 5
+        assert s.mean == pytest.approx(14.0)
+        assert s.median == pytest.approx(14.0)
+        assert s.maximum == 18.0
+        assert s.convergence_fraction == 1.0
+
+    def test_nan_treated_as_nonconverged(self):
+        s = summarize_rounds([10.0, float("nan"), 20.0])
+        assert s.count == 3 and s.converged == 2
+        assert s.mean == pytest.approx(15.0)
+
+    def test_all_nan(self):
+        s = summarize_rounds([float("nan")] * 3)
+        assert s.converged == 0
+        assert math.isnan(s.mean)
+
+    def test_single_sample_std(self):
+        assert summarize_rounds([7.0]).std == 0.0
+
+
+class TestFitScaling:
+    def test_perfect_log_fit(self):
+        ns = [2**k for k in range(6, 14)]
+        rounds = [3.0 * math.log2(n) + 5.0 for n in ns]
+        fit = fit_scaling(ns, [2] * len(ns), rounds, "log_n")
+        assert fit.slope == pytest.approx(3.0, rel=1e-6)
+        assert fit.intercept == pytest.approx(5.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        ns = [64, 256, 1024]
+        rounds = [2.0 * math.log2(n) for n in ns]
+        fit = fit_scaling(ns, [2] * 3, rounds, "log_n")
+        assert fit.predict(20.0) == pytest.approx(40.0, rel=1e-6)
+
+    def test_log_beats_linear_for_log_data(self):
+        rng = np.random.default_rng(0)
+        ns = [2**k for k in range(6, 16)]
+        rounds = [4 * math.log2(n) + rng.normal(0, 0.5) for n in ns]
+        fits = compare_predictors(ns, [2] * len(ns), rounds, ["log_n", "linear_n"])
+        assert fits[0].predictor_name == "log_n"
+
+    def test_linear_beats_log_for_linear_data(self):
+        rng = np.random.default_rng(1)
+        ns = [100 * k for k in range(1, 12)]
+        rounds = [0.5 * n + rng.normal(0, 5) for n in ns]
+        fits = compare_predictors(ns, [2] * len(ns), rounds, ["log_n", "linear_n"])
+        assert fits[0].predictor_name == "linear_n"
+
+    def test_nan_rounds_dropped(self):
+        ns = [64, 128, 256, 512]
+        rounds = [6.0, float("nan"), 8.0, 9.0]
+        fit = fit_scaling(ns, [2] * 4, rounds, "log_n")
+        assert fit.points == 3
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_scaling([64], [2], [5.0], "log_n")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_scaling([64, 128], [2], [5.0, 6.0], "log_n")
+
+    def test_constant_data_r2_one(self):
+        fit = fit_scaling([64, 128, 256], [2, 2, 2], [5.0, 5.0, 5.0], "log_n")
+        assert fit.r_squared == pytest.approx(1.0)
+
+
+class TestGrowthRatio:
+    def test_pairs_in_size_order(self):
+        out = growth_ratio([100, 400, 200], [10.0, 14.0, 12.0])
+        assert out == [(100, 200, pytest.approx(1.2)), (200, 400, pytest.approx(14 / 12))]
+
+    def test_nan_skipped(self):
+        out = growth_ratio([100, 200], [float("nan"), 10.0])
+        assert out == []
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            growth_ratio([1, 2], [1.0])
+
+
+class TestSuccessProbability:
+    def test_all_success(self):
+        p, hw = empirical_success_probability([True] * 50)
+        assert p == 1.0 and hw < 0.05
+
+    def test_half(self):
+        p, hw = empirical_success_probability([True, False] * 100)
+        assert p == pytest.approx(0.5)
+        assert 0 < hw < 0.1
+
+    def test_empty(self):
+        p, hw = empirical_success_probability([])
+        assert math.isnan(p)

@@ -1,0 +1,192 @@
+"""Tests for repro.core.baseline_rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baseline_rules import (
+    MaximumRule,
+    MeanRule,
+    MinimumRule,
+    TwoChoicesMajorityRule,
+    VoterRule,
+)
+
+
+class TestMinimumRule:
+    def test_vectorized_matches_definition(self, rng):
+        rule = MinimumRule()
+        values = rng.integers(0, 50, size=100)
+        samples = rng.integers(0, 100, size=(100, 1))
+        out = rule.apply_vectorized(values, samples, rng)
+        expected = np.minimum(values, values[samples[:, 0]])
+        assert np.array_equal(out, expected)
+
+    def test_monotone_never_increases_any_value(self, rng):
+        rule = MinimumRule()
+        values = rng.integers(0, 100, size=64)
+        for _ in range(5):
+            new = rule.step(values, rng)
+            assert np.all(new <= values)
+            values = new
+
+    def test_global_minimum_is_invariant(self, rng):
+        rule = MinimumRule()
+        values = rng.integers(5, 100, size=64)
+        values[7] = 1
+        for _ in range(20):
+            values = rule.step(values, rng)
+        assert values.min() == 1
+
+    def test_converges_to_minimum(self, rng):
+        rule = MinimumRule()
+        values = rng.integers(0, 1000, size=128)
+        target = values.min()
+        for _ in range(200):
+            values = rule.step(values, rng)
+            if np.all(values == target):
+                break
+        assert np.all(values == target)
+
+    def test_apply_single(self, rng):
+        assert MinimumRule().apply_single(5, [3], rng) == 3
+        assert MinimumRule().apply_single(2, [3], rng) == 2
+
+    def test_apply_single_arity(self, rng):
+        with pytest.raises(ValueError):
+            MinimumRule().apply_single(5, [3, 4], rng)
+
+
+class TestMaximumRule:
+    def test_vectorized(self, rng):
+        rule = MaximumRule()
+        values = rng.integers(0, 50, size=100)
+        samples = rng.integers(0, 100, size=(100, 1))
+        out = rule.apply_vectorized(values, samples, rng)
+        assert np.array_equal(out, np.maximum(values, values[samples[:, 0]]))
+
+    def test_converges_to_maximum(self, rng):
+        rule = MaximumRule()
+        values = rng.integers(0, 1000, size=128)
+        target = values.max()
+        for _ in range(200):
+            values = rule.step(values, rng)
+            if np.all(values == target):
+                break
+        assert np.all(values == target)
+
+    def test_apply_single(self, rng):
+        assert MaximumRule().apply_single(5, [3], rng) == 5
+        with pytest.raises(ValueError):
+            MaximumRule().apply_single(5, [], rng)
+
+
+class TestVoterRule:
+    def test_copies_sampled_value(self, rng):
+        rule = VoterRule()
+        values = rng.integers(0, 10, size=50)
+        samples = rng.integers(0, 50, size=(50, 1))
+        out = rule.apply_vectorized(values, samples, rng)
+        assert np.array_equal(out, values[samples[:, 0]])
+
+    def test_apply_single(self, rng):
+        assert VoterRule().apply_single(4, [9], rng) == 9
+        with pytest.raises(ValueError):
+            VoterRule().apply_single(4, [9, 1], rng)
+
+    def test_preserves_value_set(self, rng):
+        rule = VoterRule()
+        values = rng.integers(0, 5, size=100)
+        initial = set(np.unique(values))
+        for _ in range(10):
+            values = rule.step(values, rng)
+            assert set(np.unique(values)) <= initial
+
+    def test_two_value_consensus_eventually(self):
+        # voter model on a complete graph from a 2-value state reaches
+        # consensus (slowly); use a tiny n so it finishes fast
+        rng = np.random.default_rng(2)
+        rule = VoterRule()
+        values = np.array([0] * 8 + [1] * 8, dtype=np.int64)
+        for _ in range(2000):
+            values = rule.step(values, rng)
+            if np.all(values == values[0]):
+                break
+        assert np.all(values == values[0])
+
+
+class TestMeanRule:
+    def test_does_not_preserve_values(self):
+        assert MeanRule.preserves_values is False
+
+    def test_mean_of_three(self, rng):
+        rule = MeanRule()
+        values = np.array([0, 30, 60], dtype=np.int64)
+        samples = np.array([[1, 2], [0, 2], [0, 1]], dtype=np.int64)
+        out = rule.apply_vectorized(values, samples, rng)
+        assert out.tolist() == [30, 30, 30]
+
+    def test_can_output_new_value(self, rng):
+        rule = MeanRule()
+        values = np.array([0, 10], dtype=np.int64)
+        samples = np.array([[1, 1], [0, 0]], dtype=np.int64)
+        out = rule.apply_vectorized(values, samples, rng)
+        # means are (0+10+10)/3 ≈ 6.67 and (10+0+0)/3 ≈ 3.33 — neither is 0 or 10
+        assert not set(out.tolist()) <= {0, 10}
+
+    def test_bounded_by_value_range(self, rng):
+        rule = MeanRule()
+        values = rng.integers(0, 100, size=100)
+        lo, hi = values.min(), values.max()
+        for _ in range(10):
+            values = rule.step(values, rng)
+            assert values.min() >= lo and values.max() <= hi
+
+    def test_apply_single(self, rng):
+        assert MeanRule().apply_single(0, [30, 60], rng) == 30
+        with pytest.raises(ValueError):
+            MeanRule().apply_single(0, [1], rng)
+
+
+class TestTwoChoicesMajorityRule:
+    def test_majority_of_three_samples(self, rng):
+        rule = TwoChoicesMajorityRule()
+        values = np.array([9, 1, 1, 1, 5], dtype=np.int64)
+        samples = np.array([[1, 2, 3]] * 5, dtype=np.int64)
+        out = rule.apply_vectorized(values, samples, rng)
+        assert np.all(out == 1)
+
+    def test_all_distinct_picks_one_of_three(self, rng):
+        rule = TwoChoicesMajorityRule()
+        values = np.array([0, 10, 20, 30], dtype=np.int64)
+        samples = np.array([[1, 2, 3]] * 4, dtype=np.int64)
+        out = rule.apply_vectorized(values, samples, rng)
+        assert set(out.tolist()) <= {10, 20, 30}
+
+    def test_own_value_ignored(self, rng):
+        rule = TwoChoicesMajorityRule()
+        values = np.array([99, 2, 2, 2], dtype=np.int64)
+        samples = np.array([[1, 2, 3]] * 4, dtype=np.int64)
+        out = rule.apply_vectorized(values, samples, rng)
+        assert np.all(out == 2)
+
+    def test_apply_single_majority(self, rng):
+        assert TwoChoicesMajorityRule().apply_single(9, [2, 2, 7], rng) == 2
+
+    def test_apply_single_all_distinct_uniform(self, rng):
+        rule = TwoChoicesMajorityRule()
+        picks = {rule.apply_single(0, [1, 2, 3], rng) for _ in range(200)}
+        assert picks == {1, 2, 3}
+
+    def test_apply_single_arity(self, rng):
+        with pytest.raises(ValueError):
+            TwoChoicesMajorityRule().apply_single(0, [1, 2], rng)
+
+    def test_preserves_value_set(self, rng):
+        rule = TwoChoicesMajorityRule()
+        values = rng.integers(0, 4, size=100)
+        initial = set(np.unique(values))
+        for _ in range(10):
+            values = rule.step(values, rng)
+            assert set(np.unique(values)) <= initial

@@ -1,0 +1,135 @@
+"""Tests for repro.engine.batch: run_batch and the fused multi-run engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.strategies import BalancingAdversary
+from repro.core.median_rule import MedianRule
+from repro.core.state import Configuration
+from repro.engine.batch import BatchResult, run_batch, run_batch_fused
+
+
+class TestRunBatch:
+    def test_fixed_initial_configuration(self):
+        batch = run_batch(Configuration.all_distinct(64), num_runs=5, seed=1)
+        assert batch.num_runs == 5
+        assert batch.n == 64
+        assert batch.convergence_fraction == 1.0
+        assert np.all(batch.rounds[batch.converged] > 0)
+
+    def test_factory_initial_configuration(self):
+        def factory(rng):
+            return Configuration.uniform_random(64, 5, rng)
+
+        batch = run_batch(factory, num_runs=5, seed=2)
+        assert batch.convergence_fraction == 1.0
+
+    def test_reproducible_given_seed(self):
+        a = run_batch(Configuration.all_distinct(64), num_runs=4, seed=3)
+        b = run_batch(Configuration.all_distinct(64), num_runs=4, seed=3)
+        assert np.array_equal(a.rounds, b.rounds, equal_nan=True)
+
+    def test_runs_are_independent(self):
+        batch = run_batch(Configuration.all_distinct(128), num_runs=8, seed=4)
+        assert len(set(batch.rounds[batch.converged].tolist())) > 1
+
+    def test_with_adversary_factory(self):
+        batch = run_batch(
+            Configuration.two_bins(256, minority=128),
+            num_runs=4,
+            adversary_factory=lambda: BalancingAdversary(budget=4),
+            seed=5,
+            max_rounds=500,
+        )
+        assert batch.convergence_fraction == 1.0
+
+    def test_keep_results(self):
+        batch = run_batch(Configuration.all_distinct(32), num_runs=3, seed=6,
+                          keep_results=True)
+        assert len(batch.results) == 3
+        assert all(r.reached_consensus for r in batch.results)
+
+    def test_nonconvergent_runs_are_nan(self):
+        # 2 rounds is not enough to reach consensus from all-distinct at n=128
+        batch = run_batch(Configuration.all_distinct(128), num_runs=3, seed=7,
+                          max_rounds=2)
+        assert batch.convergence_fraction == 0.0
+        assert np.all(np.isnan(batch.rounds))
+        assert np.isnan(batch.mean_rounds)
+
+    def test_invalid_num_runs(self):
+        with pytest.raises(ValueError):
+            run_batch(Configuration.all_distinct(8), num_runs=0)
+
+    def test_summary_keys(self):
+        batch = run_batch(Configuration.all_distinct(32), num_runs=3, seed=8)
+        s = batch.summary()
+        for key in ("n", "num_runs", "convergence_fraction", "mean_rounds",
+                    "median_rounds", "p90_rounds", "max_rounds", "rule"):
+            assert key in s
+
+    def test_statistics_consistency(self):
+        batch = run_batch(Configuration.all_distinct(64), num_runs=10, seed=9)
+        assert batch.quantile(0.0) <= batch.median_rounds <= batch.quantile(1.0)
+        assert batch.mean_rounds <= batch.max_rounds
+
+
+class TestBatchResult:
+    def test_empty_converged_statistics(self):
+        br = BatchResult(n=10, num_runs=2, rounds=np.array([np.nan, np.nan]),
+                         converged=np.array([False, False]))
+        assert np.isnan(br.mean_rounds)
+        assert np.isnan(br.median_rounds)
+        assert np.isnan(br.quantile(0.5))
+        assert br.convergence_fraction == 0.0
+
+    def test_zero_runs(self):
+        br = BatchResult(n=0, num_runs=0, rounds=np.array([]), converged=np.array([], dtype=bool))
+        assert br.convergence_fraction == 0.0
+
+
+class TestRunBatchFused:
+    def test_no_adversary_matches_unfused_statistically(self):
+        init = Configuration.all_distinct(128)
+        fused = run_batch_fused(init, 20, seed=10)
+        unfused = run_batch(init, 20, seed=11)
+        assert fused.convergence_fraction == 1.0
+        assert unfused.convergence_fraction == 1.0
+        # both measure the same distribution; means within 35% of each other
+        assert fused.mean_rounds == pytest.approx(unfused.mean_rounds, rel=0.35)
+
+    def test_all_runs_converge_quickly(self):
+        fused = run_batch_fused(Configuration.all_distinct(256), 10, seed=12)
+        assert fused.convergence_fraction == 1.0
+        assert fused.max_rounds < 80
+
+    def test_reproducible(self):
+        init = Configuration.all_distinct(64)
+        a = run_batch_fused(init, 6, seed=13)
+        b = run_batch_fused(init, 6, seed=13)
+        assert np.array_equal(a.rounds, b.rounds, equal_nan=True)
+
+    def test_with_balancing_adversary(self):
+        init = Configuration.two_bins(512, minority=256)
+        fused = run_batch_fused(init, 6, seed=14, adversary_budget=5, max_rounds=500)
+        assert fused.convergence_fraction == 1.0
+        assert fused.meta["adversary_budget"] == 5
+
+    def test_adversary_tolerance_default(self):
+        init = Configuration.two_bins(128, minority=64)
+        fused = run_batch_fused(init, 3, seed=15, adversary_budget=2, max_rounds=400)
+        assert fused.meta["tolerance"] == 8
+
+    def test_short_horizon_leaves_nan(self):
+        fused = run_batch_fused(Configuration.all_distinct(128), 4, seed=16, max_rounds=2)
+        assert fused.convergence_fraction == 0.0
+
+    def test_invalid_num_runs(self):
+        with pytest.raises(ValueError):
+            run_batch_fused(Configuration.all_distinct(8), 0)
+
+    def test_consensus_rounds_positive(self):
+        fused = run_batch_fused(Configuration.all_distinct(64), 5, seed=17)
+        assert np.all(fused.rounds[fused.converged] >= 1)

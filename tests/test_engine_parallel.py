@@ -1,0 +1,77 @@
+"""Tests for repro.engine.parallel: work items and pooled execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.parallel import WorkItem, execute_work_items, recommended_workers
+
+
+def _item(label: str, n: int = 64, seed: int = 1, **kwargs) -> WorkItem:
+    defaults = dict(
+        label=label,
+        workload="all-distinct",
+        workload_params={"n": n},
+        num_runs=3,
+        seed=seed,
+    )
+    defaults.update(kwargs)
+    return WorkItem(**defaults)
+
+
+class TestWorkItem:
+    def test_hashable(self):
+        assert hash(_item("a")) != 0 or True   # hash computed without error
+        assert {_item("a"), _item("a")} is not None
+
+    def test_defaults(self):
+        item = _item("x")
+        assert item.rule == "median"
+        assert item.adversary == "null"
+        assert item.adversary_budget == 0
+
+
+class TestExecuteWorkItems:
+    def test_empty_list(self):
+        assert execute_work_items([]) == []
+
+    def test_serial_execution(self):
+        items = [_item("a", n=64), _item("b", n=32)]
+        out = execute_work_items(items, max_workers=0)
+        assert len(out) == 2
+        assert out[0]["label"] == "a"
+        assert out[1]["label"] == "b"
+        assert out[0]["convergence_fraction"] == 1.0
+        assert out[0]["param_n"] == 64
+
+    def test_adversarial_item(self):
+        item = _item("adv", n=128, workload="two-bins",
+                     workload_params={"n": 128, "minority": 64},
+                     adversary="balancing", adversary_budget=2,
+                     max_rounds=400)
+        out = execute_work_items([item], max_workers=0)
+        assert out[0]["adversary"] == "balancing"
+        assert out[0]["adversary_budget"] == 2
+
+    def test_results_order_matches_items(self):
+        items = [_item(f"cell-{i}", n=32, seed=i) for i in range(4)]
+        out = execute_work_items(items, max_workers=0)
+        assert [o["label"] for o in out] == [f"cell-{i}" for i in range(4)]
+
+    def test_parallel_path_produces_same_labels(self):
+        # the pool may fall back to serial in sandboxes — either way the
+        # results must be complete and ordered
+        items = [_item(f"p-{i}", n=32, seed=i) for i in range(3)]
+        out = execute_work_items(items, max_workers=2)
+        assert [o["label"] for o in out] == ["p-0", "p-1", "p-2"]
+
+    def test_serial_and_parallel_agree(self):
+        items = [_item("same", n=48, seed=7)]
+        serial = execute_work_items(items, max_workers=0)[0]
+        pooled = execute_work_items(items, max_workers=2)[0]
+        assert serial["mean_rounds"] == pooled["mean_rounds"]
+
+
+class TestRecommendedWorkers:
+    def test_at_least_one(self):
+        assert recommended_workers() >= 1

@@ -1,0 +1,181 @@
+"""Tests for repro.engine.vectorized.simulate and its stop rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.base import AdversaryTiming
+from repro.adversary.strategies import BalancingAdversary, StickyAdversary
+from repro.core.baseline_rules import MinimumRule
+from repro.core.consensus import AlmostStableCriterion
+from repro.core.median_rule import MedianRule
+from repro.core.state import Configuration
+from repro.engine.trajectory import RecordLevel
+from repro.engine.vectorized import default_max_rounds, simulate
+
+
+class TestDefaults:
+    def test_default_max_rounds_scales_with_log(self):
+        assert default_max_rounds(2) >= 200
+        assert default_max_rounds(1 << 20) == int(np.ceil(40 * 20))
+
+    def test_default_max_rounds_floor(self):
+        assert default_max_rounds(1) == 200
+
+
+class TestSimulateNoAdversary:
+    def test_reaches_consensus_from_all_distinct(self):
+        res = simulate(Configuration.all_distinct(128), seed=0)
+        assert res.reached_consensus
+        assert res.consensus_round is not None and res.consensus_round > 0
+        assert res.final.is_consensus
+
+    def test_consensus_value_is_an_initial_value(self):
+        init = Configuration.all_distinct(100)
+        res = simulate(init, seed=1)
+        assert res.winning_value in set(init.values.tolist())
+
+    def test_deterministic_given_seed(self):
+        init = Configuration.all_distinct(64)
+        a = simulate(init, seed=42)
+        b = simulate(init, seed=42)
+        assert a.consensus_round == b.consensus_round
+        assert a.winning_value == b.winning_value
+        assert a.final == b.final
+
+    def test_different_seeds_usually_differ(self):
+        init = Configuration.all_distinct(64)
+        results = {simulate(init, seed=s).winning_value for s in range(6)}
+        assert len(results) > 1
+
+    def test_already_consensus_input(self):
+        res = simulate(Configuration.from_values([7] * 10), seed=0)
+        assert res.reached_consensus and res.consensus_round == 0
+        assert res.rounds_executed <= 1
+
+    def test_stops_at_consensus_by_default(self):
+        res = simulate(Configuration.all_distinct(128), seed=0)
+        assert res.rounds_executed == res.consensus_round
+
+    def test_run_to_horizon(self):
+        res = simulate(Configuration.all_distinct(32), seed=0, max_rounds=50,
+                       run_to_horizon=True)
+        assert res.rounds_executed == 50
+
+    def test_horizon_zero(self):
+        init = Configuration.all_distinct(16)
+        res = simulate(init, seed=0, max_rounds=0)
+        assert res.rounds_executed == 0
+        assert res.final == init
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(Configuration.all_distinct(8), max_rounds=-1)
+
+    def test_metrics_trajectory_recorded(self):
+        res = simulate(Configuration.all_distinct(32), seed=0,
+                       record=RecordLevel.METRICS)
+        assert len(res.trajectory.metrics) == res.rounds_executed + 1
+        # support size never increases for the median rule
+        support = res.trajectory.support_series()
+        assert np.all(np.diff(support) <= 0)
+
+    def test_full_trajectory_recorded(self):
+        res = simulate(Configuration.all_distinct(16), seed=0, record=RecordLevel.FULL)
+        assert len(res.trajectory.configurations) == res.rounds_executed + 1
+        assert res.trajectory.configurations[-1] == res.final
+
+    def test_no_recording(self):
+        res = simulate(Configuration.all_distinct(16), seed=0, record=RecordLevel.NONE)
+        assert res.trajectory.metrics == []
+        assert res.trajectory.configurations == []
+
+    def test_accepts_raw_value_vector(self):
+        res = simulate(np.arange(32), seed=3)
+        assert res.reached_consensus
+
+    def test_summary_is_flat_dict(self):
+        res = simulate(Configuration.all_distinct(16), seed=0)
+        summary = res.summary()
+        assert summary["n"] == 16
+        assert summary["rule"] == "median"
+        assert summary["consensus_reached"] is True
+
+
+class TestSimulateWithAdversary:
+    def test_almost_stable_reached_with_weak_adversary(self):
+        n = 512
+        adv = BalancingAdversary(budget=4)
+        res = simulate(Configuration.two_bins(n, minority=n // 2), adversary=adv,
+                       seed=0, max_rounds=500)
+        assert res.reached_almost_stable
+        assert res.almost_stable_round is not None
+        assert res.final_agreement_fraction > 0.9
+
+    def test_budget_ledger_never_exceeded(self):
+        adv = BalancingAdversary(budget=5)
+        res = simulate(Configuration.two_bins(256, minority=128), adversary=adv,
+                       seed=1, max_rounds=200)
+        assert res.meta["budget_ledger_ok"] is True
+
+    def test_default_criterion_derived_from_budget(self):
+        adv = StickyAdversary(budget=3, pinned_value=1)
+        res = simulate(Configuration.two_bins(128, minority=40), adversary=adv,
+                       seed=2, max_rounds=300)
+        assert res.criterion.tolerance == 12
+        assert res.criterion.window == 10
+
+    def test_sticky_adversary_keeps_minority_bounded(self):
+        adv = StickyAdversary(budget=3, pinned_value=0)
+        res = simulate(Configuration.two_bins(256, minority=40), adversary=adv,
+                       seed=3, max_rounds=300)
+        assert res.reached_almost_stable
+        # the pinned processes keep disagreeing: no exact consensus expected
+        assert res.final.num_values <= 2
+
+    def test_custom_criterion(self):
+        adv = StickyAdversary(budget=2, pinned_value=0)
+        crit = AlmostStableCriterion(tolerance=2, window=5)
+        res = simulate(Configuration.two_bins(128, minority=30), adversary=adv,
+                       criterion=crit, seed=4, max_rounds=300)
+        assert res.criterion is crit
+
+    def test_after_sampling_timing(self):
+        adv = BalancingAdversary(budget=4, timing=AdversaryTiming.AFTER_SAMPLING)
+        res = simulate(Configuration.two_bins(256, minority=128), adversary=adv,
+                       seed=5, max_rounds=400)
+        assert res.meta["budget_ledger_ok"] is True
+        assert res.reached_almost_stable
+
+    def test_admissible_values_default_to_initial_support(self):
+        adv = StickyAdversary(budget=2)   # pins to max admissible value
+        init = Configuration.two_bins(64, minority=20, low=5, high=9)
+        res = simulate(init, adversary=adv, seed=6, max_rounds=100)
+        assert set(res.final.support.tolist()) <= {5, 9}
+
+    def test_minimum_rule_destabilized_by_reviving_adversary(self):
+        # the Section 1.1 counterexample in miniature: minimum rule + a late
+        # re-introduction of the smallest value eventually drags everyone down
+        from repro.adversary.strategies import RevivingAdversary
+
+        n = 256
+        init = Configuration.two_bins(n, minority=1, low=0, high=1)
+        adv = RevivingAdversary(budget=1, delay=20, target_value=0)
+        res = simulate(init, rule=MinimumRule(), adversary=adv, seed=7,
+                       max_rounds=300, run_to_horizon=True)
+        # by the end everyone has been dragged to 0 even though value 1 had
+        # overwhelming majority at the start
+        assert res.final.majority_value() == 0
+        assert res.final.count_value(0) > n * 0.9
+
+    def test_median_rule_absorbs_reviving_adversary(self):
+        from repro.adversary.strategies import RevivingAdversary
+
+        n = 256
+        init = Configuration.two_bins(n, minority=1, low=0, high=1)
+        adv = RevivingAdversary(budget=1, delay=20, target_value=0)
+        res = simulate(init, rule=MedianRule(), adversary=adv, seed=8,
+                       max_rounds=300, run_to_horizon=True)
+        assert res.final.majority_value() == 1
+        assert res.final.count_value(1) >= n - 4

@@ -1,0 +1,139 @@
+"""Tests for repro.experiments.config and repro.experiments.results."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig, SweepConfig
+from repro.experiments.results import CellResult, ExperimentReport
+
+
+def _config(name: str = "cell", n: int = 64, **kwargs) -> ExperimentConfig:
+    defaults = dict(name=name, workload="all-distinct", workload_params={"n": n})
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+def _cell_result(name: str = "cell", n: int = 64, mean: float = 10.0) -> CellResult:
+    return CellResult(
+        config=_config(name, n),
+        num_runs=5,
+        convergence_fraction=1.0,
+        mean_rounds=mean,
+        median_rounds=mean,
+        p90_rounds=mean + 2,
+        max_rounds=mean + 4,
+        rounds=[mean - 1, mean, mean + 1],
+    )
+
+
+class TestExperimentConfig:
+    def test_requires_n(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", workload="all-distinct", workload_params={})
+
+    def test_requires_positive_runs(self):
+        with pytest.raises(ValueError):
+            _config(num_runs=0)
+
+    def test_requires_nonnegative_budget(self):
+        with pytest.raises(ValueError):
+            _config(adversary_budget=-1)
+
+    def test_n_property(self):
+        assert _config(n=256).n == 256
+
+    def test_m_property_explicit(self):
+        cfg = ExperimentConfig(name="x", workload="uniform-random",
+                               workload_params={"n": 100, "m": 7})
+        assert cfg.m == 7
+
+    def test_m_property_all_distinct(self):
+        assert _config(n=50).m == 50
+
+    def test_m_property_two_bins(self):
+        cfg = ExperimentConfig(name="x", workload="two-bins",
+                               workload_params={"n": 100, "minority": 40})
+        assert cfg.m == 2
+
+    def test_roundtrip_dict(self):
+        cfg = _config(adversary="balancing", adversary_budget=4,
+                      adversary_params={"timing": None} if False else {})
+        again = ExperimentConfig.from_dict(cfg.to_dict())
+        assert again == cfg
+
+
+class TestSweepConfig:
+    def test_add_and_iterate(self):
+        sweep = SweepConfig(name="s")
+        sweep.add(_config("a"))
+        sweep.add(_config("b"))
+        assert len(sweep) == 2
+        assert [c.name for c in sweep] == ["a", "b"]
+
+    def test_roundtrip_dict(self):
+        sweep = SweepConfig(name="s", description="d", cells=[_config("a"), _config("b")])
+        again = SweepConfig.from_dict(sweep.to_dict())
+        assert again.name == "s" and again.description == "d"
+        assert [c.name for c in again.cells] == ["a", "b"]
+
+
+class TestCellResult:
+    def test_flat_row_fields(self):
+        row = _cell_result().flat_row()
+        for key in ("cell", "workload", "n", "m", "rule", "adversary", "T", "runs",
+                    "converged_frac", "mean_rounds"):
+            assert key in row
+
+    def test_flat_row_handles_nan(self):
+        res = _cell_result()
+        res.mean_rounds = float("nan")
+        assert res.flat_row()["mean_rounds"] == ""
+
+    def test_roundtrip_dict(self):
+        res = _cell_result()
+        again = CellResult.from_dict(res.to_dict())
+        assert again.mean_rounds == res.mean_rounds
+        assert again.config == res.config
+        assert again.rounds == res.rounds
+
+
+class TestExperimentReport:
+    def test_add_and_len(self):
+        report = ExperimentReport(name="r")
+        report.add(_cell_result("a"))
+        assert len(report) == 1
+
+    def test_json_roundtrip(self, tmp_path):
+        report = ExperimentReport(name="r", description="desc",
+                                  cells=[_cell_result("a"), _cell_result("b", mean=20.0)],
+                                  meta={"scale": 1.0})
+        path = report.save_json(tmp_path / "report.json")
+        loaded = ExperimentReport.load_json(path)
+        assert loaded.name == "r"
+        assert len(loaded) == 2
+        assert loaded.cells[1].mean_rounds == 20.0
+        assert loaded.meta == {"scale": 1.0}
+
+    def test_json_output_is_plain_types(self, tmp_path):
+        report = ExperimentReport(name="r", cells=[_cell_result()])
+        # inject numpy scalars to confirm they are converted
+        report.cells[0].extra["np_value"] = np.float64(3.5)
+        path = report.save_json(tmp_path / "np.json")
+        data = json.loads(path.read_text())
+        assert data["cells"][0]["extra"]["np_value"] == 3.5
+
+    def test_csv_output(self, tmp_path):
+        report = ExperimentReport(name="r", cells=[_cell_result("a"), _cell_result("b")])
+        path = report.save_csv(tmp_path / "report.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3            # header + 2 rows
+        assert lines[0].startswith("cell,")
+
+    def test_empty_csv(self, tmp_path):
+        report = ExperimentReport(name="empty")
+        path = report.save_csv(tmp_path / "empty.csv")
+        assert path.read_text() == ""

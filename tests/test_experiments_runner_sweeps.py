@@ -1,0 +1,164 @@
+"""Tests for repro.experiments.runner, sweep builders and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig, SweepConfig
+from repro.experiments.reporting import format_figure1_table, format_report, format_table
+from repro.experiments.runner import run_cell, run_sweep
+from repro.experiments.sweep import (
+    DEFAULT_ADVERSARY_CONSTANT,
+    adversary_threshold_sweep,
+    figure1_sweep,
+    minimum_rule_attack_sweep,
+    rule_comparison_sweep,
+    theorem1_sweep,
+    theorem2_sweep,
+    theorem3_sweep,
+    theorem4_sweep,
+    theorem10_sweep,
+)
+
+
+class TestRunCell:
+    def test_basic_cell(self):
+        cfg = ExperimentConfig(name="t", workload="all-distinct",
+                               workload_params={"n": 64}, num_runs=4, seed=1)
+        res = run_cell(cfg)
+        assert res.num_runs == 4
+        assert res.convergence_fraction == 1.0
+        assert res.mean_rounds > 0
+        assert len(res.rounds) == 4
+
+    def test_adversarial_cell(self):
+        cfg = ExperimentConfig(name="adv", workload="two-bins",
+                               workload_params={"n": 128, "minority": 64},
+                               adversary="balancing", adversary_budget=2,
+                               num_runs=3, seed=2, max_rounds=400)
+        res = run_cell(cfg)
+        assert res.convergence_fraction == 1.0
+
+    def test_factory_workload_cell(self):
+        cfg = ExperimentConfig(name="avg", workload="uniform-random",
+                               workload_params={"n": 64, "m": 5}, num_runs=3, seed=3)
+        res = run_cell(cfg)
+        assert res.convergence_fraction == 1.0
+
+    def test_reproducible(self):
+        cfg = ExperimentConfig(name="t", workload="all-distinct",
+                               workload_params={"n": 64}, num_runs=3, seed=7)
+        assert run_cell(cfg).rounds == run_cell(cfg).rounds
+
+
+class TestRunSweep:
+    def _sweep(self) -> SweepConfig:
+        sweep = SweepConfig(name="mini", description="tiny test sweep")
+        for n in (32, 64):
+            sweep.add(ExperimentConfig(name=f"n={n}", workload="all-distinct",
+                                       workload_params={"n": n}, num_runs=3, seed=5))
+        return sweep
+
+    def test_serial_execution(self):
+        report = run_sweep(self._sweep(), max_workers=0)
+        assert len(report) == 2
+        assert report.cells[0].config.name == "n=32"
+        assert all(c.convergence_fraction == 1.0 for c in report.cells)
+
+    def test_parallel_execution_matches_serial_summaries(self):
+        serial = run_sweep(self._sweep(), max_workers=0)
+        pooled = run_sweep(self._sweep(), max_workers=2)
+        for a, b in zip(serial.cells, pooled.cells):
+            assert a.mean_rounds == pytest.approx(b.mean_rounds)
+
+
+class TestSweepBuilders:
+    def test_theorem1_cells(self):
+        sweep = theorem1_sweep(ns=(32, 64), num_runs=2)
+        assert len(sweep) == 2
+        assert all(c.workload == "all-distinct" for c in sweep)
+        assert all(c.adversary_budget == 0 for c in sweep)
+
+    def test_theorem2_budgets_scale_with_sqrt_n(self):
+        sweep = theorem2_sweep(ns=(256, 1024), ms=(2,), num_runs=1)
+        budgets = [c.adversary_budget for c in sweep]
+        assert budgets[1] == pytest.approx(budgets[0] * 2, abs=1)
+
+    def test_theorem3_has_m_and_n_sweeps(self):
+        sweep = theorem3_sweep(n=256, ms=(2, 4), ns=(128, 256), m_for_n_sweep=4, num_runs=1)
+        names = [c.name for c in sweep]
+        assert any(name.startswith("m-sweep") for name in names)
+        assert any(name.startswith("n-sweep") for name in names)
+
+    def test_theorem4_odd_even_labels(self):
+        sweep = theorem4_sweep(n=128, ms=(3, 4), num_runs=1)
+        names = [c.name for c in sweep]
+        assert "m=3(odd)" in names and "m=4(even)" in names
+
+    def test_theorem4_with_adversary(self):
+        sweep = theorem4_sweep(n=128, ms=(3,), num_runs=1, with_adversary=True)
+        assert sweep.name == "corollary22"
+        assert all(c.adversary_budget > 0 for c in sweep)
+
+    def test_theorem10_balanced(self):
+        sweep = theorem10_sweep(ns=(64,), num_runs=1)
+        cell = sweep.cells[0]
+        assert cell.workload == "two-bins"
+        assert cell.workload_params["minority"] == 32
+
+    def test_minimum_rule_attack_has_both_rules(self):
+        sweep = minimum_rule_attack_sweep(n=64, num_runs=1)
+        assert {c.rule for c in sweep} == {"minimum", "median"}
+        assert all(c.adversary == "reviving" for c in sweep)
+
+    def test_adversary_threshold_budgets(self):
+        sweep = adversary_threshold_sweep(n=1024, constants=(0.0, 1.0), num_runs=1)
+        budgets = [c.adversary_budget for c in sweep]
+        assert budgets == [0, 32]
+        assert sweep.cells[0].adversary == "null"
+
+    def test_figure1_has_all_table_cells(self):
+        sweep = figure1_sweep(n=128, m_many=8, num_runs=1)
+        names = [c.name for c in sweep]
+        assert sum(1 for n in names if n.endswith("/adv")) == 4
+        assert sum(1 for n in names if n.endswith("/noadv")) == 4
+
+    def test_rule_comparison_rules(self):
+        sweep = rule_comparison_sweep(n=64, m=4, num_runs=1, rules=("median", "voter"))
+        assert [c.rule for c in sweep] == ["median", "voter"]
+
+    def test_default_adversary_constant_below_one(self):
+        assert 0 < DEFAULT_ADVERSARY_CONSTANT <= 1.0
+
+
+class TestReporting:
+    def test_format_table_markdown(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 3.25}]
+        out = format_table(rows)
+        assert "| a " in out and "| 2.50" in out
+        assert out.count("\n") == 3
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_table(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_format_report_contains_description(self):
+        sweep = SweepConfig(name="mini", description="tiny test sweep")
+        sweep.add(ExperimentConfig(name="n=32", workload="all-distinct",
+                                   workload_params={"n": 32}, num_runs=2, seed=5))
+        report = run_sweep(sweep)
+        text = format_report(report)
+        assert "mini" in text and "tiny test sweep" in text
+        assert "n=32" in text
+
+    def test_format_figure1_table_structure(self):
+        report = run_sweep(figure1_sweep(n=64, m_many=4, num_runs=1, seed=1))
+        table = format_figure1_table(report)
+        assert "worst-case 2 bins" in table
+        assert "average-case m bins (odd)" in table
+        assert "with adversary" in table

@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the algebraic and probabilistic invariants the paper's analysis
+relies on:
+
+* the median of three is one of its arguments and lies between the min and
+  max (so value-preserving rules never invent values);
+* the median commutes with monotone maps (the engine of Lemma 17);
+* one median-rule round never enlarges the support and never moves values
+  outside the initial [min, max] interval;
+* the fineness relation is reflexive, the all-one assignment is finer than
+  everything, and refinement maps reproduce the coarse loads;
+* adversary enforcement never exceeds the budget and never writes
+  inadmissible values, for arbitrary proposals;
+* Configuration encodings round-trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.adversary.base import Adversary, Corruption
+from repro.core.consensus import is_consensus
+from repro.core.fineness import is_finer, refinement_map
+from repro.core.median_rule import MedianRule, median_of_three_scalar
+from repro.core.metrics import agreement_count, minority_count, support_size
+from repro.core.state import Configuration, loads_from_values, values_from_loads
+
+# bounded integer values so tests stay fast and overflow-free
+value_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=1, max_value=80),
+    elements=st.integers(min_value=-1000, max_value=1000),
+)
+
+triples = st.tuples(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.integers(min_value=-10**6, max_value=10**6),
+)
+
+
+class TestMedianAlgebraProperties:
+    @given(triples)
+    def test_median_is_one_of_inputs(self, abc):
+        a, b, c = abc
+        assert median_of_three_scalar(a, b, c) in (a, b, c)
+
+    @given(triples)
+    def test_median_between_min_and_max(self, abc):
+        a, b, c = abc
+        m = median_of_three_scalar(a, b, c)
+        assert min(a, b, c) <= m <= max(a, b, c)
+
+    @given(triples)
+    def test_median_permutation_invariant(self, abc):
+        a, b, c = abc
+        ref = median_of_three_scalar(a, b, c)
+        assert ref == median_of_three_scalar(b, c, a)
+        assert ref == median_of_three_scalar(c, a, b)
+        assert ref == median_of_three_scalar(b, a, c)
+
+    @given(triples, st.integers(min_value=-5, max_value=5),
+           st.integers(min_value=0, max_value=100))
+    def test_median_commutes_with_monotone_affine_map(self, abc, shift, scale):
+        # f(x) = scale*x + shift is monotone (non-decreasing) for scale >= 0
+        a, b, c = abc
+        f = lambda x: scale * x + shift
+        assert f(median_of_three_scalar(a, b, c)) == median_of_three_scalar(f(a), f(b), f(c))
+
+
+class TestMedianRoundProperties:
+    @given(value_arrays, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_round_never_enlarges_support(self, values, seed):
+        rng = np.random.default_rng(seed)
+        rule = MedianRule()
+        before = set(np.unique(values).tolist())
+        after = rule.step(values, rng)
+        assert set(np.unique(after).tolist()) <= before
+
+    @given(value_arrays, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_round_respects_value_interval(self, values, seed):
+        rng = np.random.default_rng(seed)
+        after = MedianRule().step(values, rng)
+        assert after.min() >= values.min()
+        assert after.max() <= values.max()
+
+    @given(value_arrays, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_consensus_is_absorbing(self, values, seed):
+        rng = np.random.default_rng(seed)
+        consensus = np.full_like(values, values[0])
+        after = MedianRule().step(consensus, rng)
+        assert np.array_equal(after, consensus)
+
+    @given(value_arrays, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_metrics_consistency(self, values, seed):
+        rng = np.random.default_rng(seed)
+        after = MedianRule().step(values, rng)
+        n = after.shape[0]
+        assert agreement_count(after) + minority_count(after) == n
+        assert 1 <= support_size(after) <= support_size(values)
+        if is_consensus(after):
+            assert minority_count(after) == 0
+
+
+class TestConfigurationProperties:
+    @given(value_arrays)
+    def test_loads_roundtrip(self, values):
+        loads = loads_from_values(values)
+        assert sum(loads.values()) == values.shape[0]
+        rebuilt = values_from_loads(loads)
+        assert np.array_equal(np.sort(values), rebuilt)
+
+    @given(value_arrays)
+    def test_canonicalization_preserves_load_multiset(self, values):
+        cfg = Configuration.from_values(values)
+        canon = cfg.canonicalized()
+        assert sorted(cfg.loads.values()) == sorted(canon.loads.values())
+        assert canon.support.tolist() == list(range(canon.num_values))
+
+    @given(value_arrays)
+    def test_median_value_is_an_existing_value(self, values):
+        cfg = Configuration.from_values(values)
+        assert cfg.median_value() in set(values.tolist())
+
+
+class TestFinenessProperties:
+    load_lists = st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=10)
+
+    @given(load_lists)
+    def test_reflexive(self, loads):
+        assert is_finer(loads, loads)
+
+    @given(load_lists)
+    def test_all_one_is_finest(self, loads):
+        n = sum(loads)
+        assert is_finer([1] * n, loads)
+
+    @given(load_lists)
+    def test_total_collapse_is_coarsest(self, loads):
+        assert is_finer(loads, [sum(loads)])
+
+    @given(load_lists)
+    def test_refinement_map_reproduces_coarse_loads(self, loads):
+        n = sum(loads)
+        assignment = refinement_map([1] * n, loads)
+        assert assignment is not None
+        rebuilt = [assignment.count(i) for i in range(len(loads))]
+        assert rebuilt == loads
+
+
+class _ChaoticAdversary(Adversary):
+    """Proposes arbitrary (possibly invalid) writes supplied by hypothesis."""
+
+    def __init__(self, budget: int, indices, values) -> None:
+        super().__init__(budget=budget)
+        self._idx = np.asarray(indices, dtype=np.int64)
+        self._val = np.asarray(values, dtype=np.int64)
+
+    def propose(self, values, round_index, admissible_values, rng):
+        return Corruption(indices=self._idx, values=self._val)
+
+
+class TestAdversaryEnforcementProperties:
+    @given(
+        st.integers(min_value=0, max_value=5),                       # budget
+        st.lists(st.integers(min_value=-5, max_value=40), min_size=0, max_size=15),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_budget_and_admissibility_always_enforced(self, budget, raw_indices, seed):
+        rng = np.random.default_rng(seed)
+        n = 20
+        values = np.zeros(n, dtype=np.int64)
+        admissible = np.array([0, 1, 2])
+        proposals_vals = [(i * 7) % 5 for i in range(len(raw_indices))]  # some inadmissible
+        adv = _ChaoticAdversary(budget, raw_indices, proposals_vals)
+        out = adv.corrupt(values, 1, admissible, rng)
+        changed = np.flatnonzero(out != values)
+        assert changed.shape[0] <= budget
+        assert set(out[changed].tolist()) <= set(admissible.tolist())
+        assert adv.ledger.verify()

@@ -1,0 +1,93 @@
+"""Tests for the rule registry and the Rule base class plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rules import RULE_REGISTRY, Rule, available_rules, get_rule, register_rule
+
+
+class TestRegistry:
+    def test_builtin_rules_registered(self):
+        rules = available_rules()
+        for name in ("median", "majority", "minimum", "maximum", "voter", "mean",
+                     "three-majority", "median-noreplace", "median-k"):
+            assert name in rules, name
+
+    def test_get_rule_returns_instance(self):
+        rule = get_rule("median")
+        assert isinstance(rule, Rule)
+        assert rule.name == "median"
+
+    def test_get_rule_with_kwargs(self):
+        rule = get_rule("median-k", k=4)
+        assert rule.num_choices == 4
+
+    def test_get_rule_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_rule("does-not-exist")
+
+    def test_register_rule_rejects_non_rule(self):
+        with pytest.raises(TypeError):
+            register_rule(int)
+
+    def test_register_rule_rejects_duplicate_name(self):
+        class Dup(Rule):
+            name = "median"  # collides with the built-in
+
+            def apply_vectorized(self, values, samples, rng):  # pragma: no cover
+                return values
+
+            def apply_single(self, own_value, sampled_values, rng):  # pragma: no cover
+                return own_value
+
+        with pytest.raises(ValueError):
+            register_rule(Dup)
+
+    def test_custom_rule_registration_roundtrip(self):
+        class EchoRule(Rule):
+            name = "echo-test-rule"
+            num_choices = 1
+
+            def apply_vectorized(self, values, samples, rng):
+                return np.array(values)
+
+            def apply_single(self, own_value, sampled_values, rng):
+                return own_value
+
+        try:
+            register_rule(EchoRule)
+            assert isinstance(get_rule("echo-test-rule"), EchoRule)
+        finally:
+            RULE_REGISTRY.pop("echo-test-rule", None)
+
+
+class TestRuleBaseClass:
+    def test_step_runs_full_round(self, rng):
+        rule = get_rule("median")
+        values = np.arange(30)
+        out = rule.step(values, rng)
+        assert out.shape == (30,)
+        assert set(np.unique(out)) <= set(range(30))
+
+    def test_validate_samples_wrong_rows(self, rng):
+        rule = get_rule("median")
+        with pytest.raises(ValueError):
+            rule.validate_samples(10, np.zeros((5, 2), dtype=np.int64))
+
+    def test_validate_samples_negative_index(self):
+        rule = get_rule("median")
+        samples = np.array([[-1, 0]], dtype=np.int64)
+        with pytest.raises(ValueError):
+            rule.validate_samples(1, samples)
+
+    def test_sample_contacts_is_uniform(self):
+        rng = np.random.default_rng(0)
+        rule = get_rule("median")
+        n = 20
+        counts = np.zeros(n)
+        for _ in range(500):
+            counts += np.bincount(rule.sample_contacts(n, rng).ravel(), minlength=n)
+        # every process expected 2*500 = 1000 selections; allow 10% deviation
+        assert np.all(np.abs(counts - 1000) < 120)

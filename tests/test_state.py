@@ -1,0 +1,179 @@
+"""Tests for repro.core.state: Configuration and its encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import (
+    Configuration,
+    canonicalize_values,
+    loads_from_values,
+    support,
+    values_from_loads,
+)
+
+
+class TestLoadsAndValues:
+    def test_loads_from_values_counts(self):
+        assert loads_from_values([1, 1, 2, 5]) == {1: 2, 2: 1, 5: 1}
+
+    def test_loads_from_values_single_value(self):
+        assert loads_from_values([7, 7, 7]) == {7: 3}
+
+    def test_values_from_loads_sorted_expansion(self):
+        assert values_from_loads({2: 1, 1: 2}).tolist() == [1, 1, 2]
+
+    def test_values_from_loads_skips_zero_counts(self):
+        assert values_from_loads({3: 0, 5: 2}).tolist() == [5, 5]
+
+    def test_values_from_loads_rejects_negative(self):
+        with pytest.raises(ValueError):
+            values_from_loads({1: -1})
+
+    def test_values_from_loads_empty(self):
+        assert values_from_loads({}).shape == (0,)
+
+    def test_roundtrip_loads_values(self):
+        loads = {0: 3, 4: 2, 9: 5}
+        assert loads_from_values(values_from_loads(loads)) == loads
+
+    def test_support_sorted_unique(self):
+        assert support([5, 1, 5, 3]).tolist() == [1, 3, 5]
+
+    def test_canonicalize_preserves_order(self):
+        assert canonicalize_values([10, 3, 10, 99]).tolist() == [1, 0, 1, 2]
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            loads_from_values(np.zeros((2, 2)))
+
+
+class TestConfigurationConstruction:
+    def test_from_values(self):
+        cfg = Configuration.from_values([3, 1, 2])
+        assert cfg.n == 3
+        assert cfg.values.tolist() == [3, 1, 2]
+
+    def test_values_are_readonly(self):
+        cfg = Configuration.from_values([1, 2, 3])
+        with pytest.raises(ValueError):
+            cfg.values[0] = 9
+
+    def test_from_loads(self):
+        cfg = Configuration.from_loads({1: 2, 5: 1})
+        assert cfg.loads == {1: 2, 5: 1}
+
+    def test_all_distinct(self):
+        cfg = Configuration.all_distinct(10)
+        assert cfg.num_values == 10
+        assert cfg.values.tolist() == list(range(10))
+
+    def test_all_distinct_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Configuration.all_distinct(0)
+
+    def test_two_bins_counts(self):
+        cfg = Configuration.two_bins(10, minority=3, low=0, high=1)
+        assert cfg.count_value(0) == 3
+        assert cfg.count_value(1) == 7
+
+    def test_two_bins_all_in_one_bin(self):
+        cfg = Configuration.two_bins(5, minority=0)
+        assert cfg.num_values == 1
+
+    def test_two_bins_rejects_bad_minority(self):
+        with pytest.raises(ValueError):
+            Configuration.two_bins(5, minority=6)
+
+    def test_uniform_random_shape_and_range(self, rng):
+        cfg = Configuration.uniform_random(100, 7, rng)
+        assert cfg.n == 100
+        assert set(cfg.support.tolist()) <= set(range(7))
+
+    def test_uniform_random_custom_pool(self, rng):
+        cfg = Configuration.uniform_random(50, 3, rng, values=[10, 20, 30])
+        assert set(cfg.support.tolist()) <= {10, 20, 30}
+
+    def test_uniform_random_pool_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            Configuration.uniform_random(50, 3, rng, values=[10, 20])
+
+
+class TestConfigurationQueries:
+    def test_num_values_and_support(self):
+        cfg = Configuration.from_values([5, 5, 2, 9])
+        assert cfg.num_values == 3
+        assert cfg.support.tolist() == [2, 5, 9]
+
+    def test_is_consensus_true(self):
+        assert Configuration.from_values([4, 4, 4]).is_consensus
+
+    def test_is_consensus_false(self):
+        assert not Configuration.from_values([4, 4, 5]).is_consensus
+
+    def test_median_value_odd(self):
+        cfg = Configuration.from_values([10, 1, 5])
+        assert cfg.median_value() == 5
+
+    def test_median_value_even_takes_lower_central(self):
+        cfg = Configuration.from_values([1, 2, 3, 4])
+        assert cfg.median_value() == 2
+
+    def test_median_value_satisfies_definition(self, rng):
+        # Section 2.1: at most n/2 balls strictly below and strictly above m_t.
+        cfg = Configuration.uniform_random(101, 9, rng)
+        m = cfg.median_value()
+        below = int(np.count_nonzero(cfg.values < m))
+        above = int(np.count_nonzero(cfg.values > m))
+        assert below <= cfg.n / 2
+        assert above <= cfg.n / 2
+
+    def test_majority_value_tie_breaks_low(self):
+        cfg = Configuration.from_values([1, 1, 2, 2])
+        assert cfg.majority_value() == 1
+
+    def test_agreement_fraction(self):
+        cfg = Configuration.from_values([1, 1, 1, 2])
+        assert cfg.agreement_fraction() == pytest.approx(0.75)
+
+    def test_len(self):
+        assert len(Configuration.all_distinct(17)) == 17
+
+    def test_equality_and_hash(self):
+        a = Configuration.from_values([1, 2, 3])
+        b = Configuration.from_values([1, 2, 3])
+        c = Configuration.from_values([1, 2, 4])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_equality_with_non_configuration(self):
+        assert Configuration.from_values([1]) != "not a configuration"
+
+
+class TestConfigurationTransforms:
+    def test_canonicalized(self):
+        cfg = Configuration.from_values([100, 7, 100])
+        assert cfg.canonicalized().values.tolist() == [1, 0, 1]
+
+    def test_with_values_does_not_mutate_original(self):
+        cfg = Configuration.from_values([0, 0, 0])
+        out = cfg.with_values([1], [9])
+        assert cfg.values.tolist() == [0, 0, 0]
+        assert out.values.tolist() == [0, 9, 0]
+
+    def test_mapped(self):
+        cfg = Configuration.from_values([1, 2, 1])
+        out = cfg.mapped({1: 10, 2: 20})
+        assert out.values.tolist() == [10, 20, 10]
+
+    def test_copy_values_is_mutable_copy(self):
+        cfg = Configuration.from_values([1, 2])
+        arr = cfg.copy_values()
+        arr[0] = 99
+        assert cfg.values[0] == 1
+
+    def test_sorted_values(self):
+        cfg = Configuration.from_values([3, 1, 2])
+        assert cfg.sorted_values().tolist() == [1, 2, 3]
