@@ -35,7 +35,7 @@ import numpy as np
 from repro.adversary.budget import BudgetLedger
 from repro.core.state import Configuration
 
-__all__ = ["AdversaryTiming", "Corruption", "Adversary", "NullAdversary"]
+__all__ = ["AdversaryTiming", "Corruption", "CountCorruption", "Adversary", "NullAdversary"]
 
 
 class AdversaryTiming(enum.Enum):
@@ -75,6 +75,41 @@ class Corruption:
     @classmethod
     def empty(cls) -> "Corruption":
         return cls(indices=np.empty(0, dtype=np.int64), values=np.empty(0, dtype=np.int64))
+
+
+@dataclass(frozen=True)
+class CountCorruption:
+    """A batch of adversarial *count edits* for one round of the occupancy engine.
+
+    Each entry moves ``amounts[i]`` processes from value ``src_values[i]`` to
+    value ``dst_values[i]``.  This is the occupancy-space equivalent of a
+    :class:`Corruption`: rewriting a process's value is exactly a unit of mass
+    moved between two bins, so a T-bounded adversary is one whose amounts sum
+    to at most T per round.
+    """
+
+    src_values: np.ndarray
+    dst_values: np.ndarray
+    amounts: np.ndarray
+
+    def __post_init__(self) -> None:
+        src = np.asarray(self.src_values, dtype=np.int64).ravel()
+        dst = np.asarray(self.dst_values, dtype=np.int64).ravel()
+        amt = np.asarray(self.amounts, dtype=np.int64).ravel()
+        if not (src.shape[0] == dst.shape[0] == amt.shape[0]):
+            raise ValueError("src_values, dst_values and amounts must have equal length")
+        object.__setattr__(self, "src_values", src)
+        object.__setattr__(self, "dst_values", dst)
+        object.__setattr__(self, "amounts", amt)
+
+    @property
+    def total(self) -> int:
+        return int(self.amounts.sum()) if self.amounts.size else 0
+
+    @classmethod
+    def empty(cls) -> "CountCorruption":
+        z = np.empty(0, dtype=np.int64)
+        return cls(src_values=z, dst_values=z, amounts=z)
 
 
 class Adversary(abc.ABC):
@@ -158,6 +193,89 @@ class Adversary(abc.ABC):
         if idx.shape[0]:
             out[idx] = val
         self.ledger.record(round_index, int(idx.shape[0]))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # occupancy-space (count-edit) interface
+    # ------------------------------------------------------------------ #
+    def propose_counts(
+        self,
+        support: np.ndarray,
+        counts: np.ndarray,
+        round_index: int,
+        admissible_values: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Optional[CountCorruption]:
+        """Propose this round's writes as count edits over the value support.
+
+        Strategies whose behaviour depends on the configuration only through
+        its occupancy vector override this (balancing, reviving, switching,
+        random, targeted-median); the override must be *distributionally
+        equivalent* to :meth:`propose` applied to any expansion of the counts.
+        Identity-tracking strategies (sticky, hiding) cannot be expressed in
+        count space and keep the default, which returns ``None`` so the
+        occupancy engine can fail fast with a clear error.
+        """
+        return None
+
+    @property
+    def supports_counts(self) -> bool:
+        """True iff this adversary can drive the occupancy-space engine."""
+        if self.budget == 0:
+            return True
+        return type(self).propose_counts is not Adversary.propose_counts
+
+    def corrupt_counts(
+        self,
+        support: np.ndarray,
+        counts: np.ndarray,
+        round_index: int,
+        admissible_values: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Apply the budget- and value-constrained count edits for one round.
+
+        The occupancy-space twin of :meth:`corrupt`: clips the proposal to the
+        per-round budget, drops moves from absent bins or to inadmissible
+        values, never lets a bin go negative, and records the number of
+        processes actually rewritten in the same :class:`BudgetLedger`.
+        Returns a **new** counts array; the input is never mutated.
+        """
+        support = np.asarray(support, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        admissible = np.unique(np.asarray(admissible_values, dtype=np.int64))
+        out = np.array(counts)
+        if self.budget == 0 or admissible.shape[0] == 0:
+            self.ledger.record(round_index, 0)
+            return out
+
+        proposal = self.propose_counts(support, counts, round_index, admissible, rng)
+        if proposal is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} tracks process identities and has no "
+                "occupancy-space (count-edit) form; use the vectorized engine"
+            )
+
+        spent = 0
+        for src, dst, amount in zip(proposal.src_values, proposal.dst_values,
+                                    proposal.amounts):
+            if spent >= self.budget or amount <= 0:
+                continue
+            if dst not in admissible:
+                continue
+            si = int(np.searchsorted(support, src))
+            di = int(np.searchsorted(support, dst))
+            if si >= support.shape[0] or support[si] != src:
+                continue
+            if di >= support.shape[0] or support[di] != dst:
+                continue
+            move = int(min(amount, self.budget - spent, out[si]))
+            if move <= 0:
+                continue
+            out[si] -= move
+            out[di] += move
+            spent += move
+        self.ledger.record(round_index, spent)
         return out
 
     def reset(self) -> None:

@@ -35,7 +35,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.adversary.base import Adversary, AdversaryTiming, Corruption
+from repro.adversary.base import Adversary, AdversaryTiming, Corruption, CountCorruption
 
 __all__ = [
     "BalancingAdversary",
@@ -48,6 +48,22 @@ __all__ = [
     "ADVERSARY_REGISTRY",
     "make_adversary",
 ]
+
+
+def _victims_per_bin(counts: np.ndarray, size: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """How many of ``size`` uniformly-drawn distinct victims fall in each bin.
+
+    Drawing T victim processes uniformly without replacement and grouping
+    them by current value is exactly a multivariate hypergeometric draw over
+    the bin loads — the count-space twin of ``rng.choice(n, T, replace=False)``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    size = min(int(size), total)
+    if size <= 0:
+        return np.zeros(counts.shape[0], dtype=np.int64)
+    return rng.multivariate_hypergeometric(counts, size).astype(np.int64)
 
 
 class BalancingAdversary(Adversary):
@@ -101,6 +117,39 @@ class BalancingAdversary(Adversary):
                           values=np.full(victims.shape[0], runner_up, dtype=np.int64))
 
 
+    def propose_counts(self, support: np.ndarray, counts: np.ndarray, round_index: int,
+                       admissible_values: np.ndarray, rng: np.random.Generator
+                       ) -> CountCorruption:
+        # Mirrors `propose` exactly: which holders of the leader get rewritten
+        # is irrelevant in count space, so the move is a deterministic mass
+        # transfer from the leader bin to the runner-up bin.
+        nz = np.flatnonzero(counts > 0)
+        if nz.shape[0] == 0:
+            return CountCorruption.empty()
+        order = nz[np.argsort(-counts[nz], kind="stable")]
+        leader = int(support[order[0]])
+
+        if order.shape[0] >= 2:
+            runner_up = int(support[order[1]])
+            self._last_runner_up = runner_up
+            gap = int(counts[order[0]]) - int(counts[order[1]])
+            want = min(self.budget, max((gap + 1) // 2, 0))
+        else:
+            others = admissible_values[admissible_values != leader]
+            if others.shape[0] == 0:
+                return CountCorruption.empty()
+            if self._last_runner_up is not None and self._last_runner_up in others:
+                runner_up = self._last_runner_up
+            else:
+                runner_up = int(others[0])
+            want = self.budget
+
+        if want <= 0:
+            return CountCorruption.empty()
+        return CountCorruption(src_values=[leader], dst_values=[runner_up],
+                               amounts=[want])
+
+
 class RevivingAdversary(Adversary):
     """Re-introduce an extinct value once agreement looks settled.
 
@@ -132,6 +181,22 @@ class RevivingAdversary(Adversary):
                              replace=False)
         return Corruption(indices=victims,
                           values=np.full(victims.shape[0], target, dtype=np.int64))
+
+    def propose_counts(self, support: np.ndarray, counts: np.ndarray, round_index: int,
+                       admissible_values: np.ndarray, rng: np.random.Generator
+                       ) -> CountCorruption:
+        if round_index < self.delay:
+            return CountCorruption.empty()
+        target = int(admissible_values.min()) if self.target_value is None \
+            else int(self.target_value)
+        # victims are uniform among processes *not* holding the target
+        candidate_counts = np.where(support == target, 0, counts)
+        per_bin = _victims_per_bin(candidate_counts, self.budget, rng)
+        src = support[per_bin > 0]
+        amounts = per_bin[per_bin > 0]
+        return CountCorruption(src_values=src,
+                               dst_values=np.full(src.shape[0], target, dtype=np.int64),
+                               amounts=amounts)
 
 
 class HidingAdversary(Adversary):
@@ -181,6 +246,18 @@ class SwitchingAdversary(Adversary):
         return Corruption(indices=victims,
                           values=np.full(victims.shape[0], target, dtype=np.int64))
 
+    def propose_counts(self, support: np.ndarray, counts: np.ndarray, round_index: int,
+                       admissible_values: np.ndarray, rng: np.random.Generator
+                       ) -> CountCorruption:
+        target = int(admissible_values.min()) if round_index % 2 == 0 \
+            else int(admissible_values.max())
+        per_bin = _victims_per_bin(counts, self.budget, rng)
+        src = support[per_bin > 0]
+        amounts = per_bin[per_bin > 0]
+        return CountCorruption(src_values=src,
+                               dst_values=np.full(src.shape[0], target, dtype=np.int64),
+                               amounts=amounts)
+
 
 class RandomCorruptionAdversary(Adversary):
     """Rewrite T uniformly random processes to uniformly random admissible values."""
@@ -191,6 +268,24 @@ class RandomCorruptionAdversary(Adversary):
                              replace=False)
         new_vals = rng.choice(admissible_values, size=victims.shape[0], replace=True)
         return Corruption(indices=victims, values=new_vals)
+
+    def propose_counts(self, support: np.ndarray, counts: np.ndarray, round_index: int,
+                       admissible_values: np.ndarray, rng: np.random.Generator
+                       ) -> CountCorruption:
+        per_bin = _victims_per_bin(counts, self.budget, rng)
+        uniform = np.full(admissible_values.shape[0],
+                          1.0 / admissible_values.shape[0])
+        src_list, dst_list, amount_list = [], [], []
+        for i in np.flatnonzero(per_bin):
+            # each victim from this bin independently picks a uniform
+            # admissible value, exactly as in the per-process proposal
+            split = rng.multinomial(int(per_bin[i]), uniform)
+            for j in np.flatnonzero(split):
+                src_list.append(int(support[i]))
+                dst_list.append(int(admissible_values[j]))
+                amount_list.append(int(split[j]))
+        return CountCorruption(src_values=src_list, dst_values=dst_list,
+                               amounts=amount_list)
 
 
 class TargetedMedianAdversary(Adversary):
@@ -213,6 +308,21 @@ class TargetedMedianAdversary(Adversary):
         victims = rng.choice(holders, size=min(self.budget, holders.shape[0]), replace=False)
         return Corruption(indices=victims,
                           values=np.full(victims.shape[0], target, dtype=np.int64))
+
+    def propose_counts(self, support: np.ndarray, counts: np.ndarray, round_index: int,
+                       admissible_values: np.ndarray, rng: np.random.Generator
+                       ) -> CountCorruption:
+        cum = np.cumsum(counts)
+        n = int(cum[-1])
+        # searchsorted can only land on a bin whose count is positive (a zero
+        # bin repeats the previous cumulative value), so holders > 0 always
+        med_idx = int(np.searchsorted(cum, (n - 1) // 2 + 1))
+        median_val = int(support[med_idx])
+        lo, hi = int(admissible_values.min()), int(admissible_values.max())
+        target = hi if (hi - median_val) >= (median_val - lo) else lo
+        holders = int(counts[med_idx])
+        return CountCorruption(src_values=[median_val], dst_values=[target],
+                               amounts=[min(self.budget, holders)])
 
 
 class StickyAdversary(Adversary):

@@ -28,10 +28,10 @@ import numpy as np
 
 from repro.adversary.strategies import ADVERSARY_REGISTRY, make_adversary
 from repro.core.rules import available_rules, get_rule
-from repro.engine.vectorized import simulate
+from repro.engine.batch import ENGINES
 from repro.experiments import figures
 from repro.experiments.reporting import format_report
-from repro.experiments.workloads import WORKLOAD_REGISTRY, make_workload
+from repro.experiments.workloads import WORKLOAD_REGISTRY, make_workload_for_engine
 from repro.io.tables import render_kv
 
 __all__ = ["main", "build_parser"]
@@ -68,12 +68,17 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--budget", type=int, default=0, help="adversary budget T")
     sim.add_argument("--max-rounds", type=int, default=None)
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--engine", default="vectorized", choices=sorted(ENGINES),
+                     help="simulation substrate: 'vectorized' is O(n) per round, "
+                          "'occupancy' is O(m^2) per round independent of n")
 
     swp = sub.add_parser("sweep", help="run a named experiment sweep")
     swp.add_argument("name", choices=sorted(_SWEEPS))
     swp.add_argument("--scale", type=float, default=1.0,
                      help="problem-size scale factor (use <1 for quick runs)")
     swp.add_argument("--runs", type=int, default=None, help="runs per cell")
+    swp.add_argument("--engine", default="vectorized", choices=sorted(ENGINES),
+                     help="simulation substrate for every cell of the sweep")
     swp.add_argument("--json", type=Path, default=None, help="save report as JSON")
     swp.add_argument("--csv", type=Path, default=None, help="save report as CSV")
 
@@ -89,20 +94,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     params = {"n": args.n}
     if args.m is not None:
         params["m"] = args.m
-    workload = make_workload(args.workload, **params)
+    workload = make_workload_for_engine(args.workload, args.engine, **params)
     rng = np.random.default_rng(args.seed)
     initial = workload(rng) if callable(workload) else workload
     rule = get_rule(args.rule)
     adversary = make_adversary(args.adversary, budget=args.budget)
-    result = simulate(initial, rule=rule, adversary=adversary, seed=args.seed,
-                      max_rounds=args.max_rounds)
+    simulate_fn = ENGINES[args.engine]
+    result = simulate_fn(initial, rule=rule, adversary=adversary, seed=args.seed,
+                         max_rounds=args.max_rounds)
     print(render_kv(result.summary(), title="simulation result"))
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     func = _SWEEPS[args.name]
-    kwargs = {"scale": args.scale}
+    kwargs = {"scale": args.scale, "engine": args.engine}
     if args.runs is not None:
         kwargs["num_runs"] = args.runs
     figure = func(**kwargs)
@@ -137,6 +143,9 @@ def _cmd_rules(_: argparse.Namespace) -> int:
         print(f"  - {name}")
     print("\nWorkloads:")
     for name in sorted(WORKLOAD_REGISTRY):
+        print(f"  - {name}")
+    print("\nEngines:")
+    for name in sorted(ENGINES):
         print(f"  - {name}")
     return 0
 

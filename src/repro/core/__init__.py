@@ -65,12 +65,15 @@ from repro.core.metrics import (
     support_size,
     two_bin_stats,
 )
+from repro.core.occupancy_state import OccupancyState, occupancy_metrics
 from repro.core.rules import RULE_REGISTRY, Rule, available_rules, get_rule, register_rule
 from repro.core.state import Configuration
 
 __all__ = [
     # state
     "Configuration",
+    "OccupancyState",
+    "occupancy_metrics",
     # rules
     "Rule",
     "RULE_REGISTRY",

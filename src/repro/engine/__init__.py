@@ -1,7 +1,49 @@
-"""Simulation engines: vectorized single runs, fused batches, parallel sweeps."""
+"""Simulation engines — and how to pick one.
+
+Four substrates execute the same protocols; they differ in what they store
+per round and therefore in where they are fast:
+
+``vectorized`` (:func:`repro.engine.vectorized.simulate`)
+    One value per process, one NumPy pass per round: O(n) time and memory per
+    round.  The default.  Use it whenever n is laptop-sized (up to ~10⁷),
+    when you need per-process trajectories, sample-path couplings, or any
+    adversary — including the identity-tracking ones (sticky, hiding).
+
+``occupancy`` (:func:`repro.engine.occupancy.simulate_occupancy`)
+    One count per distinct value, one multinomial scatter per round: O(m²)
+    time, **independent of n**.  Statistically exact (equal in law to the
+    vectorized engine — pinned by ``tests/test_engine_differential.py``), so
+    use it for very large populations with few values (n = 10⁸–10⁹, m up to
+    a few thousand).  Limits: rules need a count-space kernel (median,
+    median-k, median-noreplace, voter, minimum, maximum) and adversaries must
+    be expressible as count edits (balancing, reviving, switching, random,
+    targeted-median — not sticky/hiding); per-ball quantities (gravity,
+    per-process trajectories) are unavailable.
+
+``batch`` (:func:`repro.engine.batch.run_batch` / :func:`~repro.engine.batch.run_batch_fused`)
+    Monte-Carlo over independent runs.  ``run_batch`` repeats any single-run
+    engine (select with ``engine="vectorized" | "occupancy"``); the fused
+    variant packs R median-rule runs into one (R, n) array program and is the
+    fastest way to get convergence-round distributions at moderate n.
+
+``network`` (:class:`repro.network.simulator.NetworkSimulator`)
+    Agent-level message passing with explicit topologies, schedulers and
+    per-node inboxes.  Orders of magnitude slower; use it only to validate
+    protocol semantics, asynchrony, or non-complete communication graphs
+    (small n).
+
+Rule of thumb: protocol semantics → network; n ≤ 10⁷ or exotic
+rules/adversaries → vectorized (batch/fused for distributions); n beyond that
+with modest m → occupancy.
+"""
 
 from repro.engine.asynchronous import ACTIVATION_ORDERS, AsyncResult, simulate_asynchronous
-from repro.engine.batch import BatchResult, run_batch, run_batch_fused
+from repro.engine.batch import ENGINES, BatchResult, run_batch, run_batch_fused
+from repro.engine.occupancy import (
+    occupancy_round,
+    occupancy_transition_matrix,
+    simulate_occupancy,
+)
 from repro.engine.parallel import WorkItem, execute_work_items, recommended_workers
 from repro.engine.rng import RngPool, make_rng, spawn_rngs, spawn_seeds
 from repro.engine.run import SimulationResult
@@ -10,6 +52,7 @@ from repro.engine.vectorized import EngineConfig, default_max_rounds, simulate
 
 __all__ = [
     "simulate",
+    "simulate_occupancy",
     "simulate_asynchronous",
     "AsyncResult",
     "ACTIVATION_ORDERS",
@@ -19,6 +62,9 @@ __all__ = [
     "BatchResult",
     "run_batch",
     "run_batch_fused",
+    "ENGINES",
+    "occupancy_round",
+    "occupancy_transition_matrix",
     "WorkItem",
     "execute_work_items",
     "recommended_workers",

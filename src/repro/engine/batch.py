@@ -29,14 +29,23 @@ from repro.adversary.base import Adversary, NullAdversary
 from repro.adversary.strategies import BalancingAdversary
 from repro.core.consensus import AlmostStableCriterion
 from repro.core.median_rule import MedianRule, median_of_three
+from repro.core.occupancy_state import OccupancyState
 from repro.core.rules import Rule
 from repro.core.state import Configuration
+from repro.engine.occupancy import simulate_occupancy
 from repro.engine.rng import spawn_rngs
 from repro.engine.run import SimulationResult
 from repro.engine.trajectory import RecordLevel
 from repro.engine.vectorized import default_max_rounds, simulate
 
-__all__ = ["BatchResult", "run_batch", "run_batch_fused"]
+__all__ = ["BatchResult", "run_batch", "run_batch_fused", "ENGINES"]
+
+#: Single-run engines selectable by name (``run_batch(engine=...)``,
+#: ``ExperimentConfig.engine``, ``repro-consensus simulate --engine``).
+ENGINES = {
+    "vectorized": simulate,
+    "occupancy": simulate_occupancy,
+}
 
 
 @dataclass
@@ -105,6 +114,7 @@ def run_batch(
     criterion: Optional[AlmostStableCriterion] = None,
     record: RecordLevel = RecordLevel.NONE,
     keep_results: bool = False,
+    engine: str = "vectorized",
 ) -> BatchResult:
     """Run ``num_runs`` independent simulations and aggregate their outcomes.
 
@@ -120,9 +130,16 @@ def run_batch(
     keep_results:
         Keep the individual :class:`SimulationResult` objects (memory-heavy
         for large batches; off by default).
+    engine:
+        Which single-run engine executes each run: ``"vectorized"`` (O(n) per
+        round) or ``"occupancy"`` (O(m²) per round, independent of n) — see
+        :data:`ENGINES`.  The two are statistically equivalent.
     """
     if num_runs <= 0:
         raise ValueError("num_runs must be positive")
+    if engine not in ENGINES:
+        raise KeyError(f"unknown engine {engine!r}; available: {sorted(ENGINES)}")
+    simulate_fn = ENGINES[engine]
     rule = rule or MedianRule()
     rngs = spawn_rngs(seed, num_runs)
 
@@ -132,13 +149,18 @@ def run_batch(
     n_ref: Optional[int] = None
 
     for i, rng in enumerate(rngs):
-        if isinstance(initial_factory, Configuration):
+        if isinstance(initial_factory, (Configuration, OccupancyState)):
             init = initial_factory
         else:
             init = initial_factory(rng)
+        if isinstance(init, OccupancyState) and engine != "occupancy":
+            raise ValueError(
+                f"an OccupancyState initial requires engine='occupancy', "
+                f"not {engine!r} (occupancy states cannot be expanded implicitly)"
+            )
         n_ref = init.n if n_ref is None else n_ref
         adversary = adversary_factory() if adversary_factory is not None else NullAdversary()
-        res = simulate(
+        res = simulate_fn(
             init,
             rule=rule,
             adversary=adversary,
@@ -160,7 +182,7 @@ def run_batch(
         rounds=rounds,
         converged=converged,
         results=results,
-        meta={"rule": rule.name},
+        meta={"rule": rule.name, "engine": engine},
     )
 
 

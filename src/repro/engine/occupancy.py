@@ -1,0 +1,476 @@
+"""Exact occupancy-space simulation engine: O(m²) per round, independent of n.
+
+The vectorized engine (:mod:`repro.engine.vectorized`) stores one value per
+process and pays O(n) work per round.  But every anonymous symmetric rule —
+in particular the paper's median rule — is a function of the configuration
+only through its *occupancy vector* (how many processes hold each of the m
+distinct values), and conditionally on the current occupancy the n per-process
+updates are independent draws from a per-value-class outcome distribution.
+One synchronous round therefore collapses to m multinomial draws:
+
+    for each value class a with c_a holders,
+        N_a ~ Multinomial(c_a, q^(a))          # q^(a) over the m classes
+    c'_b = Σ_a N_a[b]
+
+where ``q^(a)_b`` is the probability that a holder of the a-th smallest value
+ends the round holding the b-th smallest value.  For the median-of-(k+1)
+family this distribution has a closed form in the cumulative load fractions
+``F_b`` (the same CDF the mean-field model iterates — see
+:mod:`repro.analysis.meanfield`): the new value is ≤ the b-th value iff at
+least ``⌊k/2⌋`` (own value already below) or ``⌊k/2⌋+1`` (own value above) of
+the k uniform samples land at or below it, i.e. a binomial tail in ``F_b``.
+
+This makes the engine **exact**: the occupancy vector it produces after each
+round has *identically the same distribution* as counting the vectorized
+engine's value array — verified by ``tests/test_engine_differential.py``.
+It is not sample-path identical for a shared seed (the two engines consume
+randomness differently), only equal in law.
+
+Cost per round is O(m²) for the transition matrix and draws, with **no
+dependence on n**, so n = 10⁸–10⁹ runs cost the same as n = 10⁴ for fixed m
+(``benchmarks/bench_engine_occupancy.py``).
+
+Supported rules: :class:`~repro.core.median_rule.MedianRule`,
+:class:`~repro.core.median_rule.BestOfKMedianRule` (any k),
+:class:`~repro.core.median_rule.MedianRuleWithoutReplacement` (exact finite-n
+pair-without-replacement kernel), and the single-choice baselines
+(voter, minimum, maximum).  Rules may also provide their own kernel by
+defining ``occupancy_kernel(support, counts) -> (m, m) matrix``.
+
+Adversaries act through budgeted *count edits*
+(:meth:`repro.adversary.base.Adversary.corrupt_counts`), reusing the same
+budget ledger as the vectorized engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.adversary.base import Adversary, AdversaryTiming, NullAdversary
+from repro.core.baseline_rules import MaximumRule, MinimumRule, VoterRule
+from repro.core.consensus import AlmostStableCriterion, ConsensusStatus
+from repro.core.median_rule import (
+    BestOfKMedianRule,
+    MedianRule,
+    MedianRuleWithoutReplacement,
+)
+from repro.core.occupancy_state import (
+    MATERIALIZE_LIMIT_DEFAULT,
+    OccupancyState,
+    occupancy_metrics,
+)
+from repro.core.rules import Rule
+from repro.core.state import Configuration
+from repro.engine.rng import make_rng
+from repro.engine.run import SimulationResult
+from repro.engine.trajectory import RecordLevel, Trajectory
+from repro.engine.vectorized import default_max_rounds
+
+__all__ = [
+    "OCCUPANCY_RULES",
+    "binomial_sf",
+    "median_outcome_matrix",
+    "median_noreplace_outcome_matrix",
+    "single_choice_outcome_matrix",
+    "occupancy_transition_matrix",
+    "occupancy_round",
+    "simulate_occupancy",
+]
+
+#: Full-configuration trajectory recording is refused above this n.
+_FULL_RECORD_LIMIT = 100_000
+
+#: Registry names of the built-in rules with an occupancy-space kernel
+#: (rules defining their own ``occupancy_kernel`` also work; this set exists
+#: so sweeps can be filtered *before* work is spent).
+OCCUPANCY_RULES = frozenset(
+    {"median", "median-noreplace", "median-k", "voter", "minimum", "maximum"}
+)
+
+#: The transition matrix has m² float64 entries; beyond this support width a
+#: single round would allocate gigabytes, and the vectorized engine is the
+#: better substrate anyway (occupancy wins only when m ≪ n).
+MAX_SUPPORT_DEFAULT = 10_000
+
+
+# ---------------------------------------------------------------------- #
+# transition-matrix kernels
+# ---------------------------------------------------------------------- #
+def binomial_sf(k: int, r: int, x: np.ndarray) -> np.ndarray:
+    """``P(Binomial(k, x) >= r)`` element-wise over success probabilities ``x``.
+
+    Exact finite sum (k is the rule's small sample count, so no special
+    functions are needed).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if r <= 0:
+        return np.ones_like(x)
+    if r > k:
+        return np.zeros_like(x)
+    out = np.zeros_like(x)
+    for j in range(r, k + 1):
+        out += math.comb(k, j) * np.power(x, j) * np.power(1.0 - x, k - j)
+    return np.clip(out, 0.0, 1.0)
+
+
+def median_outcome_matrix(cdf: np.ndarray, k: int = 2) -> np.ndarray:
+    """Outcome matrix of the median-of-(k+1) rule from the load CDF.
+
+    ``cdf[b] = F_b`` is the fraction of processes holding a value ≤ the b-th
+    smallest value.  Row ``a`` of the result is the outcome distribution
+    ``q^(a)`` for a holder of the a-th value: with ``r = ⌊k/2⌋`` (the lower
+    median's 0-based order statistic among the k+1 pooled values),
+
+    * ``P(new ≤ b) = P(Bin(k, F_b) ≥ r)``     when ``b ≥ a`` (own value helps),
+    * ``P(new ≤ b) = P(Bin(k, F_b) ≥ r + 1)`` when ``b < a``.
+
+    For k = 2 this reduces to the classic median-of-three transition
+    ``q_b = F_b² − F_{b−1}²`` below, ``(1−F_{b−1})² − (1−F_b)²`` above, and
+    ``1 − F_{a−1}² − (1−F_a)²`` on the diagonal.
+    """
+    F = np.asarray(cdf, dtype=np.float64)
+    m = F.shape[0]
+    if m == 0:
+        return np.zeros((0, 0))
+    r = k // 2
+    s_hi = binomial_sf(k, r, F)       # P(new ≤ b) for b ≥ a
+    s_lo = binomial_sf(k, r + 1, F)   # P(new ≤ b) for b < a
+
+    # row-independent increments of the two CDF branches
+    d_lo = np.diff(s_lo, prepend=0.0)             # used where b < a
+    d_hi = np.diff(s_hi, prepend=0.0)             # used where b > a (b ≥ 1)
+    s_lo_prev = np.concatenate([[0.0], s_lo[:-1]])
+    diag = s_hi - s_lo_prev                       # P(new = a) for a holder of a
+
+    a_idx = np.arange(m)[:, None]
+    b_idx = np.arange(m)[None, :]
+    Q = np.where(b_idx < a_idx, d_lo[None, :],
+                 np.where(b_idx > a_idx, d_hi[None, :], diag[None, :]))
+    return _normalize_rows(Q)
+
+
+def median_noreplace_outcome_matrix(counts: np.ndarray) -> np.ndarray:
+    """Exact outcome matrix for the median rule sampling two *distinct others*.
+
+    The ordered pair of contacts is uniform over distinct non-self process
+    pairs, so for a holder of value class ``a`` (with cumulative counts
+    ``C_b`` over all processes):
+
+    * both contacts ≤ b (for b < a)  has probability ``C_b (C_b − 1) / D``
+      (self holds a value above b, so all ``C_b`` such processes are others),
+    * both contacts ≥ b (for b > a)  has probability ``U_b (U_b − 1) / D``
+      with ``U_b = n − C_{b−1}`` (self holds a value below b),
+    * where ``D = (n − 1)(n − 2)``.
+
+    Differencing the two branches gives the off-diagonal masses and the
+    diagonal takes the remainder.  Requires n ≥ 3 (the rule itself falls back
+    to with-replacement sampling below that, and so does
+    :func:`occupancy_transition_matrix`).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    m = counts.shape[0]
+    n = int(counts.sum())
+    if n < 3:
+        raise ValueError("without-replacement kernel needs n >= 3")
+    C = np.cumsum(counts).astype(np.float64)
+    C_prev = np.concatenate([[0.0], C[:-1]])
+    D = float(n - 1) * float(n - 2)
+
+    below = C * (C - 1.0) / D                    # P(both others ≤ b), b < a
+    above = (n - C_prev) * (n - C_prev - 1.0) / D  # P(both others ≥ b), b > a
+
+    d_lo = np.diff(below, prepend=0.0)
+    d_hi = -np.diff(above, append=0.0)
+    below_prev = np.concatenate([[0.0], below[:-1]])
+    above_next = np.concatenate([above[1:], [0.0]])
+    diag = 1.0 - below_prev - above_next
+
+    a_idx = np.arange(m)[:, None]
+    b_idx = np.arange(m)[None, :]
+    Q = np.where(b_idx < a_idx, d_lo[None, :],
+                 np.where(b_idx > a_idx, d_hi[None, :], diag[None, :]))
+    return _normalize_rows(Q)
+
+
+def single_choice_outcome_matrix(cdf: np.ndarray, kind: str) -> np.ndarray:
+    """Outcome matrices of the one-contact baselines (voter / minimum / maximum)."""
+    F = np.asarray(cdf, dtype=np.float64)
+    m = F.shape[0]
+    p = np.diff(F, prepend=0.0)
+    a_idx = np.arange(m)[:, None]
+    b_idx = np.arange(m)[None, :]
+    if kind == "voter":
+        Q = np.broadcast_to(p[None, :], (m, m)).copy()
+    elif kind == "minimum":
+        # adopt the sample iff it is smaller, keep own value otherwise
+        F_prev = np.concatenate([[0.0], F[:-1]])
+        stay = 1.0 - F_prev                       # P(sample ≥ own value a)
+        Q = np.where(b_idx < a_idx, p[None, :],
+                     np.where(b_idx == a_idx, stay[None, :], 0.0))
+    elif kind == "maximum":
+        stay = F.copy()                           # P(sample ≤ own value a)
+        Q = np.where(b_idx > a_idx, p[None, :],
+                     np.where(b_idx == a_idx, stay[None, :], 0.0))
+    else:
+        raise ValueError(f"unknown single-choice kind {kind!r}")
+    return _normalize_rows(Q)
+
+
+def _normalize_rows(Q: np.ndarray) -> np.ndarray:
+    """Clip floating-point negatives and renormalize each row to sum to 1."""
+    Q = np.clip(Q, 0.0, None)
+    sums = Q.sum(axis=1, keepdims=True)
+    np.divide(Q, sums, out=Q, where=sums > 0)
+    return Q
+
+
+def occupancy_transition_matrix(rule: Rule, counts: np.ndarray) -> np.ndarray:
+    """Build the per-class outcome matrix ``Q`` of one round of ``rule``.
+
+    Dispatches on the rule type; rules outside the built-in families may
+    provide an ``occupancy_kernel(support, counts)`` method (``support`` is
+    passed as ``None`` here since the kernels are label-free — only the order
+    of the bins matters).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    n = int(counts.sum())
+    if n == 0:
+        raise ValueError("cannot build a transition for an empty population")
+    m = counts.shape[0]
+    if m > MAX_SUPPORT_DEFAULT:
+        raise ValueError(
+            f"support width m={m} needs an m²={m * m:,}-entry transition matrix "
+            f"({m * m * 8 / 1e9:.1f} GB); the occupancy engine targets m ≪ n — "
+            "use the vectorized engine for wide supports"
+        )
+    hook = getattr(rule, "occupancy_kernel", None)
+    if callable(hook):
+        return _normalize_rows(np.asarray(hook(None, counts), dtype=np.float64))
+    cdf = np.cumsum(counts).astype(np.float64) / float(n)
+    if isinstance(rule, MedianRuleWithoutReplacement):
+        if n >= 3:
+            return median_noreplace_outcome_matrix(counts)
+        return median_outcome_matrix(cdf, k=2)  # the rule's own n<3 fallback
+    if isinstance(rule, MedianRule):
+        return median_outcome_matrix(cdf, k=2)
+    if isinstance(rule, BestOfKMedianRule):
+        return median_outcome_matrix(cdf, k=rule.k)
+    if isinstance(rule, VoterRule):
+        return single_choice_outcome_matrix(cdf, "voter")
+    if isinstance(rule, MinimumRule):
+        return single_choice_outcome_matrix(cdf, "minimum")
+    if isinstance(rule, MaximumRule):
+        return single_choice_outcome_matrix(cdf, "maximum")
+    raise TypeError(
+        f"rule {rule.name!r} has no occupancy-space kernel; supported rules are "
+        "median, median-noreplace, median-k, voter, minimum, maximum, or any "
+        "rule defining occupancy_kernel(support, counts)"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the round and the run
+# ---------------------------------------------------------------------- #
+def occupancy_round(counts: np.ndarray, rule: Rule,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Advance one synchronous round in count space (exact, O(m²)).
+
+    Each value class scatters its holders over the classes with one
+    multinomial draw from its outcome distribution; the new occupancy is the
+    column sum.  Population size is conserved exactly.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    Q = occupancy_transition_matrix(rule, counts)
+    # one batched draw: row a ~ Multinomial(counts[a], Q[a])
+    flows = rng.multinomial(counts, Q)
+    return flows.sum(axis=0, dtype=np.int64)
+
+
+def _as_occupancy(initial: Union[Configuration, OccupancyState, np.ndarray, Sequence[int]]
+                  ) -> OccupancyState:
+    if isinstance(initial, OccupancyState):
+        return initial
+    if isinstance(initial, Configuration):
+        return OccupancyState.from_configuration(initial)
+    return OccupancyState.from_values(np.asarray(initial))
+
+
+def simulate_occupancy(
+    initial: Union[Configuration, OccupancyState, np.ndarray, Sequence[int]],
+    rule: Rule | None = None,
+    adversary: Adversary | None = None,
+    *,
+    seed: Optional[int | np.random.Generator] = None,
+    max_rounds: Optional[int] = None,
+    criterion: Optional[AlmostStableCriterion] = None,
+    record: RecordLevel = RecordLevel.METRICS,
+    stop_at_consensus: bool = True,
+    stop_when_stable: bool = True,
+    run_to_horizon: bool = False,
+    admissible_values: Optional[np.ndarray] = None,
+    materialize: Optional[bool] = None,
+) -> SimulationResult:
+    """Simulate one run entirely in occupancy space.
+
+    Drop-in companion to :func:`repro.engine.vectorized.simulate`: same
+    parameters, same stop rules, same :class:`SimulationResult` shape, but
+    per-round cost O(m²) independent of n.  The produced run is *equal in
+    distribution* to a vectorized run (not sample-path identical for a shared
+    seed).
+
+    Parameters beyond the vectorized engine's
+    ----------------------------------------
+    materialize:
+        Whether ``result.initial`` / ``result.final`` are expanded to real
+        :class:`Configuration` objects.  ``None`` (default) expands only when
+        ``n <= 1_000_000``; otherwise the result carries
+        :class:`OccupancyState` objects, which duck-type every query the
+        analysis layer uses (``n``, ``num_values``, ``support``, ``loads``,
+        ``agreement_fraction()``, ...).
+
+    Notes
+    -----
+    * ``record=RecordLevel.FULL`` stores expanded configurations and is
+      refused for n > 100_000.
+    * The adversary must support count edits
+      (:attr:`~repro.adversary.base.Adversary.supports_counts`); the
+      identity-tracking strategies (sticky, hiding) do not.
+    """
+    state = _as_occupancy(initial)
+    rule = rule or MedianRule()
+    adversary = adversary or NullAdversary()
+    rng = make_rng(seed)
+    n = state.n
+    horizon = max_rounds if max_rounds is not None else default_max_rounds(n)
+    if horizon < 0:
+        raise ValueError("max_rounds must be non-negative")
+    if adversary.budget > 0 and not adversary.supports_counts:
+        raise NotImplementedError(
+            f"{type(adversary).__name__} tracks process identities and cannot "
+            "drive the occupancy engine; use the vectorized engine instead"
+        )
+
+    if criterion is None:
+        tolerance = 4 * adversary.budget
+        window = 10 if adversary.budget > 0 else 1
+        criterion = AlmostStableCriterion(tolerance=tolerance, window=window)
+
+    nonzero_support = state.support[state.counts > 0]
+    admissible = np.unique(np.asarray(
+        nonzero_support if admissible_values is None else admissible_values,
+        dtype=np.int64))
+    # fixed support for the whole run: current values ∪ adversary's palette,
+    # so count edits can re-introduce extinct admissible values
+    state = state.with_support(np.union1d(state.support, admissible))
+    support = state.support
+    counts = np.array(state.counts)
+
+    if record is RecordLevel.FULL and n > _FULL_RECORD_LIMIT:
+        raise ValueError(
+            f"RecordLevel.FULL would materialize {n} values per round; "
+            f"use METRICS (O(1) per round) above n={_FULL_RECORD_LIMIT}"
+        )
+
+    adversary.reset()
+    trajectory = Trajectory()
+
+    def _record(cnts: np.ndarray, t: int) -> None:
+        if record is RecordLevel.NONE:
+            return
+        snap = OccupancyState(support=support, counts=cnts)
+        trajectory.metrics.append(occupancy_metrics(snap, t))
+        if record is RecordLevel.FULL:
+            trajectory.configurations.append(snap.to_configuration())
+
+    def _minority(cnts: np.ndarray) -> int:
+        return n - int(cnts.max())
+
+    def _consensus_value(cnts: np.ndarray) -> Optional[int]:
+        nz = np.flatnonzero(cnts)
+        if nz.shape[0] == 1:
+            return int(support[nz[0]])
+        return None
+
+    _record(counts, 0)
+
+    consensus_status = ConsensusStatus(reached=False, round=None, value=None)
+    v0 = _consensus_value(counts)
+    if v0 is not None:
+        consensus_status = ConsensusStatus(reached=True, round=0, value=v0)
+
+    streak = 1 if _minority(counts) <= criterion.tolerance else 0
+    first_stable_round: Optional[int] = 0 if streak else None
+
+    rounds_executed = 0
+    for t in range(1, horizon + 1):
+        if adversary.budget > 0 and adversary.timing is AdversaryTiming.BEFORE_SAMPLING:
+            counts = adversary.corrupt_counts(support, counts, t, admissible, rng)
+
+        counts = occupancy_round(counts, rule, rng)
+
+        if adversary.budget > 0 and adversary.timing is AdversaryTiming.AFTER_SAMPLING:
+            counts = adversary.corrupt_counts(support, counts, t, admissible, rng)
+
+        rounds_executed = t
+        _record(counts, t)
+
+        if not consensus_status.reached:
+            v = _consensus_value(counts)
+            if v is not None:
+                consensus_status = ConsensusStatus(reached=True, round=t, value=v)
+
+        if _minority(counts) <= criterion.tolerance:
+            if streak == 0:
+                first_stable_round = t
+            streak += 1
+        else:
+            streak = 0
+            first_stable_round = None
+
+        if run_to_horizon:
+            continue
+        if stop_at_consensus and consensus_status.reached and adversary.budget == 0:
+            break
+        if stop_when_stable and adversary.budget > 0 and streak >= criterion.window:
+            break
+
+    final_state = OccupancyState(support=support, counts=counts)
+    if first_stable_round is not None and streak >= criterion.window:
+        almost_status = ConsensusStatus(reached=True, round=first_stable_round,
+                                        value=final_state.majority_value())
+    else:
+        almost_status = ConsensusStatus(reached=False, round=None, value=None)
+
+    expand = (n <= MATERIALIZE_LIMIT_DEFAULT) if materialize is None else materialize
+    if expand:
+        if isinstance(initial, Configuration):
+            result_initial = initial  # keep the caller's ball order
+        else:
+            result_initial = _as_occupancy(initial).to_configuration(limit=max(n, 1))
+        result_final = final_state.to_configuration(limit=max(n, 1))
+    else:
+        result_initial = _as_occupancy(initial)
+        result_final = final_state.compacted()
+
+    return SimulationResult(
+        initial=result_initial,
+        final=result_final,
+        rounds_executed=rounds_executed,
+        consensus=consensus_status,
+        almost_stable=almost_status,
+        trajectory=trajectory,
+        rule_name=rule.name,
+        adversary_name=type(adversary).__name__,
+        criterion=criterion,
+        meta={
+            "engine": "occupancy",
+            "num_bins": int(support.shape[0]),
+            "adversary_budget": adversary.budget,
+            "horizon": horizon,
+            "budget_ledger_total": adversary.ledger.total,
+            "budget_ledger_ok": adversary.ledger.verify(),
+        },
+    )

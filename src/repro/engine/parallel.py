@@ -50,6 +50,8 @@ class WorkItem:
         Adversary registry name, budget T, constructor kwargs.
     num_runs, seed, max_rounds:
         Batch size, base seed, and per-run horizon.
+    engine:
+        Single-run engine name (``"vectorized"`` or ``"occupancy"``).
     """
 
     label: str
@@ -63,19 +65,21 @@ class WorkItem:
     num_runs: int = 20
     seed: Optional[int] = None
     max_rounds: Optional[int] = None
+    engine: str = "vectorized"
 
     def __hash__(self) -> int:  # dataclass with dict fields: hash by label+seed
         return hash((self.label, self.workload, self.rule, self.adversary,
-                     self.adversary_budget, self.num_runs, self.seed))
+                     self.adversary_budget, self.num_runs, self.seed, self.engine))
 
 
 def _execute_one(item: WorkItem) -> Dict[str, Any]:
     """Worker entry point: run one cell and return a flat summary dict."""
     # imported here so the worker process resolves registries on its side
-    from repro.experiments.workloads import make_workload
+    from repro.experiments.workloads import make_workload_for_engine
 
     rule = get_rule(item.rule, **item.rule_params)
-    workload = make_workload(item.workload, **item.workload_params)
+    workload = make_workload_for_engine(item.workload, item.engine,
+                                        **item.workload_params)
 
     def adversary_factory():
         return make_adversary(item.adversary, budget=item.adversary_budget,
@@ -88,6 +92,7 @@ def _execute_one(item: WorkItem) -> Dict[str, Any]:
         adversary_factory=adversary_factory if item.adversary_budget > 0 else None,
         seed=item.seed,
         max_rounds=item.max_rounds,
+        engine=item.engine,
     )
     summary = batch.summary()
     summary["label"] = item.label

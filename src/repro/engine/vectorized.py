@@ -80,10 +80,14 @@ class EngineConfig:
     run_to_horizon: bool = False
 
 
-def _almost_stable_status(recorder_minorities: list, tolerance: int, window: int,
-                          final_values: np.ndarray, horizon_reached: bool,
+def _almost_stable_status(final_values: np.ndarray,
                           first_stable_round: Optional[int]) -> ConsensusStatus:
-    """Build the almost-stable ConsensusStatus from run bookkeeping."""
+    """Build the almost-stable ConsensusStatus from run bookkeeping.
+
+    ``first_stable_round`` is the start of the trailing streak of rounds
+    satisfying the tolerance (``None`` if the streak is broken); the winning
+    value is the plurality value of the final configuration.
+    """
     if first_stable_round is None:
         return ConsensusStatus(reached=False, round=None, value=None)
     uniq, counts = np.unique(final_values, return_counts=True)
@@ -206,10 +210,7 @@ def simulate(
         if (stop_when_stable and adversary.budget > 0 and streak >= criterion.window):
             break
 
-    almost_status = _almost_stable_status(
-        [], criterion.tolerance, criterion.window, values,
-        rounds_executed >= horizon, first_stable_round,
-    )
+    almost_status = _almost_stable_status(values, first_stable_round)
     if almost_status.reached and streak < criterion.window:
         # The trailing streak is too short to certify stability.
         almost_status = ConsensusStatus(reached=False, round=None, value=None)

@@ -9,8 +9,10 @@ their results.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.engine.batch import ENGINES
 
 __all__ = ["ExperimentConfig", "SweepConfig"]
 
@@ -37,6 +39,10 @@ class ExperimentConfig:
         Per-run horizon (``None`` → engine default of ~40·log2 n).
     seed:
         Base seed; run i uses the i-th spawned child stream.
+    engine:
+        Simulation substrate: ``"vectorized"`` (O(n)-per-round value arrays)
+        or ``"occupancy"`` (O(m²)-per-round exact count dynamics; use it for
+        very large n with few distinct values).
     """
 
     name: str
@@ -50,6 +56,7 @@ class ExperimentConfig:
     num_runs: int = 20
     max_rounds: Optional[int] = None
     seed: Optional[int] = 12345
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if "n" not in self.workload_params:
@@ -58,6 +65,10 @@ class ExperimentConfig:
             raise ValueError("num_runs must be positive")
         if self.adversary_budget < 0:
             raise ValueError("adversary_budget must be non-negative")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; available: {sorted(ENGINES)}"
+            )
 
     @property
     def n(self) -> int:
@@ -92,6 +103,14 @@ class SweepConfig:
 
     def add(self, cell: ExperimentConfig) -> None:
         self.cells.append(cell)
+
+    def with_engine(self, engine: str) -> "SweepConfig":
+        """A copy of the sweep with every cell retargeted to ``engine``."""
+        return SweepConfig(
+            name=self.name,
+            description=self.description,
+            cells=[replace(cell, engine=engine) for cell in self.cells],
+        )
 
     def __iter__(self) -> Iterator[ExperimentConfig]:
         return iter(self.cells)

@@ -72,55 +72,60 @@ def _fits_from_report(report: ExperimentReport,
         return []
 
 
-def reproduce_figure1(scale: float = 1.0, num_runs: int = 10, seed: int = 808
-                      ) -> FigureResult:
+def reproduce_figure1(scale: float = 1.0, num_runs: int = 10, seed: int = 808,
+                      engine: str = "vectorized") -> FigureResult:
     """FIG1: every cell of the paper's Figure 1 summary table at one n."""
     n = max(128, int(1024 * scale))
     m_many = 32 if n >= 512 else 8
-    sweep = figure1_sweep(n=n, m_many=m_many, num_runs=num_runs, seed=seed)
+    sweep = figure1_sweep(n=n, m_many=m_many, num_runs=num_runs, seed=seed,
+                          engine=engine)
     report = run_sweep(sweep)
     table = format_figure1_table(report)
     return FigureResult(report=report, fits=[], table=table)
 
 
-def reproduce_theorem1(scale: float = 1.0, num_runs: int = 15, seed: int = 101
-                       ) -> FigureResult:
+def reproduce_theorem1(scale: float = 1.0, num_runs: int = 15, seed: int = 101,
+                       engine: str = "vectorized") -> FigureResult:
     """THM1: O(log n) consensus, all-distinct start, no adversary."""
     base = (64, 128, 256, 512, 1024, 2048)
     ns = tuple(max(16, int(n * scale)) for n in base)
-    report = run_sweep(theorem1_sweep(ns=ns, num_runs=num_runs, seed=seed))
+    report = run_sweep(theorem1_sweep(ns=ns, num_runs=num_runs, seed=seed,
+                                      engine=engine))
     fits = _fits_from_report(report, ["log_n", "sqrt_n", "linear_n"])
     return FigureResult(report=report, fits=fits, table=format_report(report))
 
 
-def reproduce_theorem2(scale: float = 1.0, num_runs: int = 8, seed: int = 202
-                       ) -> FigureResult:
+def reproduce_theorem2(scale: float = 1.0, num_runs: int = 8, seed: int = 202,
+                       engine: str = "vectorized") -> FigureResult:
     """THM2: O(log n) almost-stable consensus, constant m, sqrt(n) adversary."""
     base = (256, 1024, 4096)
     ns = tuple(max(64, int(n * scale)) for n in base)
-    report = run_sweep(theorem2_sweep(ns=ns, num_runs=num_runs, seed=seed))
+    report = run_sweep(theorem2_sweep(ns=ns, num_runs=num_runs, seed=seed,
+                                      engine=engine))
     fits = _fits_from_report(report, ["log_n", "sqrt_n", "linear_n"])
     return FigureResult(report=report, fits=fits, table=format_report(report))
 
 
-def reproduce_theorem3(scale: float = 1.0, num_runs: int = 8, seed: int = 303
-                       ) -> FigureResult:
+def reproduce_theorem3(scale: float = 1.0, num_runs: int = 8, seed: int = 303,
+                       engine: str = "vectorized") -> FigureResult:
     """THM3: O(log m log log n + log n), m sweep and n sweep, sqrt(n) adversary."""
     n = max(256, int(2048 * scale))
     ns = tuple(max(128, int(x * scale)) for x in (256, 512, 1024, 2048, 4096))
     ms = (2, 4, 8, 16, 32, 64)
-    report = run_sweep(theorem3_sweep(n=n, ms=ms, ns=ns, num_runs=num_runs, seed=seed))
+    report = run_sweep(theorem3_sweep(n=n, ms=ms, ns=ns, num_runs=num_runs, seed=seed,
+                                      engine=engine))
     fits = _fits_from_report(report, ["log_m_loglog_n_plus_log_n", "log_n", "linear_n"])
     return FigureResult(report=report, fits=fits, table=format_report(report))
 
 
 def reproduce_theorem4(scale: float = 1.0, num_runs: int = 8, seed: int = 404,
-                       with_adversary: bool = False) -> FigureResult:
+                       with_adversary: bool = False,
+                       engine: str = "vectorized") -> FigureResult:
     """THM4/21/COR22: average case, odd vs even m."""
     n = max(256, int(4096 * scale))
     ms = (3, 4, 5, 8, 9, 16, 17, 32, 33)
     report = run_sweep(theorem4_sweep(n=n, ms=ms, with_adversary=with_adversary,
-                                      num_runs=num_runs, seed=seed))
+                                      num_runs=num_runs, seed=seed, engine=engine))
     # fit odd and even cells separately (they have different predicted laws)
     odd_cells = [c for c in report.cells if c.m % 2 == 1]
     even_cells = [c for c in report.cells if c.m % 2 == 0]
@@ -136,18 +141,19 @@ def reproduce_theorem4(scale: float = 1.0, num_runs: int = 8, seed: int = 404,
     return FigureResult(report=report, fits=fits, table=format_report(report))
 
 
-def reproduce_theorem10(scale: float = 1.0, num_runs: int = 8, seed: int = 505
-                        ) -> FigureResult:
+def reproduce_theorem10(scale: float = 1.0, num_runs: int = 8, seed: int = 505,
+                        engine: str = "vectorized") -> FigureResult:
     """THM10: two balanced bins, sqrt(n) adversary, O(log n) rounds."""
     base = (256, 1024, 4096, 16384)
     ns = tuple(max(64, int(n * scale)) for n in base)
-    report = run_sweep(theorem10_sweep(ns=ns, num_runs=num_runs, seed=seed))
+    report = run_sweep(theorem10_sweep(ns=ns, num_runs=num_runs, seed=seed,
+                                       engine=engine))
     fits = _fits_from_report(report, ["log_n", "sqrt_n", "linear_n"])
     return FigureResult(report=report, fits=fits, table=format_report(report))
 
 
-def reproduce_minimum_rule_attack(scale: float = 1.0, num_runs: int = 8, seed: int = 606
-                                  ) -> FigureResult:
+def reproduce_minimum_rule_attack(scale: float = 1.0, num_runs: int = 8, seed: int = 606,
+                                  engine: str = "vectorized") -> FigureResult:
     """MINRULE: the reviving adversary flips the minimum rule but not the median rule.
 
     The relevant outcome is not the convergence round but whether a run is
@@ -157,21 +163,24 @@ def reproduce_minimum_rule_attack(scale: float = 1.0, num_runs: int = 8, seed: i
     adversary's value); the median rule absorbs the attack.
     """
     n = max(128, int(1024 * scale))
-    report = run_sweep(minimum_rule_attack_sweep(n=n, num_runs=num_runs, seed=seed))
+    report = run_sweep(minimum_rule_attack_sweep(n=n, num_runs=num_runs, seed=seed,
+                                                 engine=engine))
     return FigureResult(report=report, fits=[], table=format_report(report))
 
 
-def reproduce_adversary_threshold(scale: float = 1.0, num_runs: int = 6, seed: int = 707
-                                  ) -> FigureResult:
+def reproduce_adversary_threshold(scale: float = 1.0, num_runs: int = 6, seed: int = 707,
+                                  engine: str = "vectorized") -> FigureResult:
     """ADVBOUND: convergence vs adversary strength T = c·sqrt(n)."""
     n = max(256, int(4096 * scale))
-    report = run_sweep(adversary_threshold_sweep(n=n, num_runs=num_runs, seed=seed))
+    report = run_sweep(adversary_threshold_sweep(n=n, num_runs=num_runs, seed=seed,
+                                                 engine=engine))
     return FigureResult(report=report, fits=[], table=format_report(report))
 
 
-def reproduce_rule_comparison(scale: float = 1.0, num_runs: int = 6, seed: int = 909
-                              ) -> FigureResult:
+def reproduce_rule_comparison(scale: float = 1.0, num_runs: int = 6, seed: int = 909,
+                              engine: str = "vectorized") -> FigureResult:
     """Ablation: median (two choices) vs voter (one choice) vs 3-majority vs minimum."""
     n = max(128, int(1024 * scale))
-    report = run_sweep(rule_comparison_sweep(n=n, num_runs=num_runs, seed=seed))
+    report = run_sweep(rule_comparison_sweep(n=n, num_runs=num_runs, seed=seed,
+                                             engine=engine))
     return FigureResult(report=report, fits=[], table=format_report(report))

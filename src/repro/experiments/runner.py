@@ -20,7 +20,7 @@ from repro.engine.batch import run_batch
 from repro.engine.parallel import WorkItem, execute_work_items
 from repro.experiments.config import ExperimentConfig, SweepConfig
 from repro.experiments.results import CellResult, ExperimentReport
-from repro.experiments.workloads import make_workload
+from repro.experiments.workloads import make_workload_for_engine
 
 __all__ = ["run_cell", "run_sweep"]
 
@@ -28,7 +28,8 @@ __all__ = ["run_cell", "run_sweep"]
 def run_cell(config: ExperimentConfig) -> CellResult:
     """Execute one experiment cell in-process and summarize it."""
     rule = get_rule(config.rule, **config.rule_params)
-    workload = make_workload(config.workload, **config.workload_params)
+    workload = make_workload_for_engine(config.workload, config.engine,
+                                        **config.workload_params)
 
     adversary_factory = None
     if config.adversary_budget > 0 and config.adversary != "null":
@@ -43,6 +44,7 @@ def run_cell(config: ExperimentConfig) -> CellResult:
         adversary_factory=adversary_factory,
         seed=config.seed,
         max_rounds=config.max_rounds,
+        engine=config.engine,
     )
     return CellResult(
         config=config,
@@ -53,7 +55,8 @@ def run_cell(config: ExperimentConfig) -> CellResult:
         p90_rounds=batch.quantile(0.9),
         max_rounds=batch.max_rounds,
         rounds=[float(r) for r in batch.rounds],
-        extra={"rule": config.rule, "adversary": config.adversary},
+        extra={"rule": config.rule, "adversary": config.adversary,
+               "engine": config.engine},
     )
 
 
@@ -96,6 +99,7 @@ def run_sweep(sweep: SweepConfig, max_workers: Optional[int] = 0) -> ExperimentR
             num_runs=cell.num_runs,
             seed=cell.seed,
             max_rounds=cell.max_rounds,
+            engine=cell.engine,
         )
         for cell in sweep
     ]

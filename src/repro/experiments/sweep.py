@@ -5,6 +5,10 @@ cells cover one experiment from the DESIGN.md per-experiment index.  The
 benchmark harness calls these with small default sizes (so
 ``pytest benchmarks/`` finishes in minutes); the CLI and EXPERIMENTS.md use
 larger grids.
+
+Every builder accepts ``engine="vectorized" | "occupancy"`` and retargets all
+of its cells; the occupancy engine makes the same sweeps feasible at
+n = 10⁸–10⁹ for fixed m (see :mod:`repro.engine.occupancy`).
 """
 
 from __future__ import annotations
@@ -40,7 +44,8 @@ DEFAULT_ADVERSARY_CONSTANT = 0.25
 
 
 def theorem1_sweep(ns: Sequence[int] = (64, 128, 256, 512, 1024, 2048),
-                   num_runs: int = 20, seed: int = 101) -> SweepConfig:
+                   num_runs: int = 20, seed: int = 101,
+                   engine: str = "vectorized") -> SweepConfig:
     """THM1: worst-case (all-distinct) initial state, no adversary, n sweep."""
     sweep = SweepConfig(
         name="theorem1",
@@ -55,14 +60,15 @@ def theorem1_sweep(ns: Sequence[int] = (64, 128, 256, 512, 1024, 2048),
             num_runs=num_runs,
             seed=seed,
         ))
-    return sweep
+    return sweep.with_engine(engine)
 
 
 def theorem2_sweep(ns: Sequence[int] = (256, 1024, 4096),
                    ms: Sequence[int] = (2, 3, 4, 8),
                    num_runs: int = 10, seed: int = 202,
                    adversary: str = "balancing",
-                   adversary_constant: float = DEFAULT_ADVERSARY_CONSTANT) -> SweepConfig:
+                   adversary_constant: float = DEFAULT_ADVERSARY_CONSTANT,
+                   engine: str = "vectorized") -> SweepConfig:
     """THM2: constant number of values, √n-bounded adversary, O(log n) rounds."""
     sweep = SweepConfig(
         name="theorem2",
@@ -82,7 +88,7 @@ def theorem2_sweep(ns: Sequence[int] = (256, 1024, 4096),
                 num_runs=num_runs,
                 seed=seed,
             ))
-    return sweep
+    return sweep.with_engine(engine)
 
 
 def theorem3_sweep(n: int = 2048,
@@ -90,7 +96,8 @@ def theorem3_sweep(n: int = 2048,
                    ns: Sequence[int] = (256, 512, 1024, 2048, 4096),
                    m_for_n_sweep: int = 16,
                    num_runs: int = 10, seed: int = 303,
-                   adversary_constant: float = DEFAULT_ADVERSARY_CONSTANT) -> SweepConfig:
+                   adversary_constant: float = DEFAULT_ADVERSARY_CONSTANT,
+                   engine: str = "vectorized") -> SweepConfig:
     """THM3: m sweep at fixed n plus n sweep at fixed m, adversary T=sqrt(n)."""
     sweep = SweepConfig(
         name="theorem3",
@@ -119,14 +126,15 @@ def theorem3_sweep(n: int = 2048,
             num_runs=num_runs,
             seed=seed + 1,
         ))
-    return sweep
+    return sweep.with_engine(engine)
 
 
 def theorem4_sweep(n: int = 4096,
                    ms: Sequence[int] = (3, 4, 5, 8, 9, 16, 17, 32, 33),
                    with_adversary: bool = False,
                    num_runs: int = 10, seed: int = 404,
-                   adversary_constant: float = DEFAULT_ADVERSARY_CONSTANT) -> SweepConfig:
+                   adversary_constant: float = DEFAULT_ADVERSARY_CONSTANT,
+                   engine: str = "vectorized") -> SweepConfig:
     """THM4/THM21/COR22: uniform-random initial state, odd vs even m."""
     label = "corollary22" if with_adversary else "theorem21"
     sweep = SweepConfig(
@@ -146,13 +154,14 @@ def theorem4_sweep(n: int = 4096,
             num_runs=num_runs,
             seed=seed,
         ))
-    return sweep
+    return sweep.with_engine(engine)
 
 
 def theorem10_sweep(ns: Sequence[int] = (256, 1024, 4096, 16384),
                     num_runs: int = 10, seed: int = 505,
                     balanced: bool = True,
-                    adversary_constant: float = DEFAULT_ADVERSARY_CONSTANT) -> SweepConfig:
+                    adversary_constant: float = DEFAULT_ADVERSARY_CONSTANT,
+                    engine: str = "vectorized") -> SweepConfig:
     """THM10: two bins (balanced worst case) with a sqrt(n)-bounded adversary."""
     sweep = SweepConfig(
         name="theorem10",
@@ -173,11 +182,12 @@ def theorem10_sweep(ns: Sequence[int] = (256, 1024, 4096, 16384),
             num_runs=num_runs,
             seed=seed,
         ))
-    return sweep
+    return sweep.with_engine(engine)
 
 
 def minimum_rule_attack_sweep(n: int = 1024, num_runs: int = 10, seed: int = 606,
-                              budget: int = 1, delay: int = 30) -> SweepConfig:
+                              budget: int = 1, delay: int = 30,
+                              engine: str = "vectorized") -> SweepConfig:
     """MINRULE: minimum rule vs median rule under a reviving adversary."""
     sweep = SweepConfig(
         name="minimum-rule-attack",
@@ -197,12 +207,13 @@ def minimum_rule_attack_sweep(n: int = 1024, num_runs: int = 10, seed: int = 606
             seed=seed,
             max_rounds=max(200, delay * 6),
         ))
-    return sweep
+    return sweep.with_engine(engine)
 
 
 def adversary_threshold_sweep(n: int = 4096,
                               constants: Sequence[float] = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
-                              num_runs: int = 10, seed: int = 707) -> SweepConfig:
+                              num_runs: int = 10, seed: int = 707,
+                              engine: str = "vectorized") -> SweepConfig:
     """ADVBOUND: balancing adversary with T = c·sqrt(n) for a range of c."""
     sweep = SweepConfig(
         name="adversary-threshold",
@@ -222,12 +233,13 @@ def adversary_threshold_sweep(n: int = 4096,
             seed=seed,
             max_rounds=400,
         ))
-    return sweep
+    return sweep.with_engine(engine)
 
 
 def figure1_sweep(n: int = 1024, m_many: int = 32, num_runs: int = 10,
                   seed: int = 808,
-                  adversary_constant: float = DEFAULT_ADVERSARY_CONSTANT) -> SweepConfig:
+                  adversary_constant: float = DEFAULT_ADVERSARY_CONSTANT,
+                  engine: str = "vectorized") -> SweepConfig:
     """FIG1: one cell per entry of the paper's Figure 1 summary table."""
     budget = adversary_budget_sqrt_n(n, adversary_constant)
     sweep = SweepConfig(
@@ -262,14 +274,24 @@ def figure1_sweep(n: int = 1024, m_many: int = 32, num_runs: int = 10,
             name=f"avg-{m}bins({parity})/noadv", workload="uniform-random",
             workload_params={"n": n, "m": m},
             num_runs=num_runs, seed=seed))
-    return sweep
+    return sweep.with_engine(engine)
 
 
 def rule_comparison_sweep(n: int = 1024, m: int = 16, num_runs: int = 10,
                           seed: int = 909,
                           rules: Sequence[str] = ("median", "voter", "three-majority",
-                                                  "minimum")) -> SweepConfig:
-    """Ablation: the power of two choices — median vs one-choice and other rules."""
+                                                  "minimum"),
+                          engine: str = "vectorized") -> SweepConfig:
+    """Ablation: the power of two choices — median vs one-choice and other rules.
+
+    With ``engine="occupancy"`` the comparison is restricted to the rules that
+    have a count-space kernel (dropping e.g. ``three-majority``), so the sweep
+    runs instead of dying mid-way on an unsupported rule.
+    """
+    if engine == "occupancy":
+        from repro.engine.occupancy import OCCUPANCY_RULES
+
+        rules = [r for r in rules if r in OCCUPANCY_RULES]
     sweep = SweepConfig(
         name="rule-comparison",
         description="Convergence of the median rule vs voter (one choice), 3-majority "
@@ -285,4 +307,4 @@ def rule_comparison_sweep(n: int = 1024, m: int = 16, num_runs: int = 10,
             seed=seed,
             max_rounds=30 * int(math.log2(n)) if rule != "voter" else 40 * n,
         ))
-    return sweep
+    return sweep.with_engine(engine)

@@ -37,6 +37,7 @@ from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
+from repro.core.occupancy_state import OccupancyState
 from repro.core.state import Configuration
 
 __all__ = [
@@ -49,9 +50,15 @@ __all__ = [
     "planted_majority_workload",
     "WORKLOAD_REGISTRY",
     "make_workload",
+    "make_occupancy_workload",
+    "make_workload_for_engine",
 ]
 
 WorkloadFactory = Union[Configuration, Callable[[np.random.Generator], Configuration]]
+
+OccupancyWorkloadFactory = Union[
+    OccupancyState, Callable[[np.random.Generator], OccupancyState]
+]
 
 
 def all_distinct_workload(n: int) -> Configuration:
@@ -143,3 +150,129 @@ def make_workload(name: str, **params) -> WorkloadFactory:
     if name not in WORKLOAD_REGISTRY:
         raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOAD_REGISTRY)}")
     return WORKLOAD_REGISTRY[name](**params)
+
+
+# ---------------------------------------------------------------------- #
+# occupancy-native workload construction (O(m) memory, n up to 10⁹)
+# ---------------------------------------------------------------------- #
+def _blocks_counts(n: int, m: int) -> np.ndarray:
+    # value v is held by exactly the i with (i*m)//n == v, i.e. the integer
+    # points of [ceil(v*n/m), ceil((v+1)*n/m)) — identical to blocks_workload
+    edges = -(-np.arange(m + 1, dtype=np.int64) * n // m)  # ceil(v*n/m)
+    return np.diff(edges)
+
+
+#: Accepted parameters per workload, mirroring the per-process generators'
+#: signatures so both construction paths reject the same typos.
+_OCCUPANCY_WORKLOAD_PARAMS: Dict[str, frozenset] = {
+    "all-distinct": frozenset({"n"}),
+    "two-bins": frozenset({"n", "minority", "low", "high"}),
+    "blocks": frozenset({"n", "m"}),
+    "uniform-random": frozenset({"n", "m"}),
+    "zipf": frozenset({"n", "m", "exponent"}),
+    "planted-majority": frozenset({"n", "m", "bias", "planted_value"}),
+}
+
+
+def make_occupancy_workload(name: str, **params) -> OccupancyWorkloadFactory:
+    """Build the same initial distributions directly as occupancy vectors.
+
+    Produces either a fixed :class:`~repro.core.occupancy_state.OccupancyState`
+    or a per-run factory ``rng -> OccupancyState`` with **identical law** to
+    ``make_workload(name, ...)`` followed by counting, but O(m) memory instead
+    of O(n) — this is what lets the occupancy engine start an n = 10⁹ run
+    without ever materializing a value array.  Random workloads draw the
+    counts from the induced multinomial/binomial distributions.
+    """
+    if name not in WORKLOAD_REGISTRY:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOAD_REGISTRY)}")
+    allowed = _OCCUPANCY_WORKLOAD_PARAMS[name]
+    unexpected = set(params) - allowed
+    if unexpected:
+        raise TypeError(
+            f"workload {name!r} got unexpected parameters {sorted(unexpected)}; "
+            f"accepted: {sorted(allowed)}"
+        )
+
+    if name == "all-distinct":
+        n = int(params["n"])
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return OccupancyState(support=np.arange(n, dtype=np.int64),
+                              counts=np.ones(n, dtype=np.int64))
+
+    if name == "two-bins":
+        n = int(params["n"])
+        minority = int(params.get("minority", n // 2))
+        low = int(params.get("low", 0))
+        high = int(params.get("high", 1))
+        if not 0 <= minority <= n:
+            raise ValueError("minority must lie in [0, n]")
+        if low >= high:
+            raise ValueError("two-bins occupancy needs low < high")
+        return OccupancyState(support=np.array([low, high], dtype=np.int64),
+                              counts=np.array([minority, n - minority], dtype=np.int64))
+
+    if name == "blocks":
+        n, m = int(params["n"]), int(params["m"])
+        if m <= 0 or m > n:
+            raise ValueError("m must lie in [1, n]")
+        return OccupancyState(support=np.arange(m, dtype=np.int64),
+                              counts=_blocks_counts(n, m))
+
+    if name == "uniform-random":
+        n, m = int(params["n"]), int(params["m"])
+        if m <= 0 or n <= 0:
+            raise ValueError("n and m must be positive")
+
+        def uniform_factory(rng: np.random.Generator) -> OccupancyState:
+            counts = rng.multinomial(n, np.full(m, 1.0 / m))
+            return OccupancyState(support=np.arange(m, dtype=np.int64), counts=counts)
+
+        return uniform_factory
+
+    if name == "zipf":
+        n, m = int(params["n"]), int(params["m"])
+        exponent = float(params.get("exponent", 1.2))
+        if m <= 0 or exponent <= 0:
+            raise ValueError("m and exponent must be positive")
+        weights = 1.0 / np.power(np.arange(1, m + 1, dtype=np.float64), exponent)
+        weights /= weights.sum()
+
+        def zipf_factory(rng: np.random.Generator) -> OccupancyState:
+            counts = rng.multinomial(n, weights)
+            return OccupancyState(support=np.arange(m, dtype=np.int64), counts=counts)
+
+        return zipf_factory
+
+    if name == "planted-majority":
+        n, m = int(params["n"]), int(params["m"])
+        bias = float(params.get("bias", 0.4))
+        planted_value = int(params.get("planted_value", 0))
+        if not 0.0 <= bias <= 1.0:
+            raise ValueError("bias must lie in [0, 1]")
+        if m <= 1:
+            raise ValueError("m must be at least 2")
+
+        def planted_factory(rng: np.random.Generator) -> OccupancyState:
+            planted = int(rng.binomial(n, bias))
+            rest = rng.multinomial(n - planted, np.full(m - 1, 1.0 / (m - 1)))
+            loads: Dict[int, int] = {v: int(c) for v, c in zip(range(1, m), rest)}
+            loads[planted_value] = loads.get(planted_value, 0) + planted
+            return OccupancyState.from_loads(loads)
+
+        return planted_factory
+
+    raise KeyError(f"workload {name!r} has no occupancy-native form")
+
+
+def make_workload_for_engine(name: str, engine: str, **params
+                             ) -> Union[WorkloadFactory, OccupancyWorkloadFactory]:
+    """Build the initial state in the representation the engine simulates in.
+
+    ``"occupancy"`` gets O(m) count vectors (so n = 10⁹ cells never
+    materialize a value array); every other engine gets the per-process form.
+    """
+    if engine == "occupancy":
+        return make_occupancy_workload(name, **params)
+    return make_workload(name, **params)

@@ -23,10 +23,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.adversary.base import Adversary, Corruption
+from repro.adversary.base import Adversary, Corruption, CountCorruption
 from repro.core.consensus import is_consensus
 from repro.core.fineness import is_finer, refinement_map
-from repro.core.median_rule import MedianRule, median_of_three_scalar
+from repro.core.median_rule import (
+    MedianRule,
+    MedianRuleWithoutReplacement,
+    median_of_three,
+    median_of_three_scalar,
+)
 from repro.core.metrics import agreement_count, minority_count, support_size
 from repro.core.state import Configuration, loads_from_values, values_from_loads
 
@@ -188,3 +193,109 @@ class TestAdversaryEnforcementProperties:
         assert changed.shape[0] <= budget
         assert set(out[changed].tolist()) <= set(admissible.tolist())
         assert adv.ledger.verify()
+
+
+class _ChaoticCountAdversary(Adversary):
+    """Proposes arbitrary (possibly invalid) count edits supplied by hypothesis."""
+
+    def __init__(self, budget: int, src, dst, amounts) -> None:
+        super().__init__(budget=budget)
+        self._src = np.asarray(src, dtype=np.int64)
+        self._dst = np.asarray(dst, dtype=np.int64)
+        self._amt = np.asarray(amounts, dtype=np.int64)
+
+    def propose(self, values, round_index, admissible_values, rng):
+        return Corruption.empty()
+
+    def propose_counts(self, support, counts, round_index, admissible_values, rng):
+        return CountCorruption(src_values=self._src, dst_values=self._dst,
+                               amounts=self._amt)
+
+
+class TestCountCorruptionEnforcementProperties:
+    @given(
+        st.integers(min_value=0, max_value=5),                       # budget
+        st.lists(st.tuples(st.integers(min_value=-2, max_value=6),   # src value
+                           st.integers(min_value=-2, max_value=6),   # dst value
+                           st.integers(min_value=-3, max_value=12)), # amount
+                 min_size=0, max_size=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_count_edits_always_enforced(self, budget, moves, seed):
+        rng = np.random.default_rng(seed)
+        support = np.array([0, 1, 2, 3], dtype=np.int64)
+        counts = np.array([4, 0, 7, 9], dtype=np.int64)
+        admissible = np.array([0, 1, 2])  # value 3 may be drained, not filled
+        src = [m[0] for m in moves]
+        dst = [m[1] for m in moves]
+        amt = [m[2] for m in moves]
+        adv = _ChaoticCountAdversary(budget, src, dst, amt)
+        out = adv.corrupt_counts(support, counts, 1, admissible, rng)
+        assert int(out.sum()) == int(counts.sum())          # mass conserved
+        assert np.all(out >= 0)                             # no negative bins
+        moved = int(np.abs(out - counts).sum()) // 2
+        assert moved <= budget                              # T-bound holds
+        grew = np.flatnonzero(out > counts)
+        assert set(support[grew].tolist()) <= set(admissible.tolist())
+        assert adv.ledger.verify()
+
+
+class TestSamplingKernelProperties:
+    """Randomized guarantees of the contact-sampling kernels (ISSUE satellite)."""
+
+    @given(st.integers(min_value=3, max_value=200),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_noreplace_contacts_never_self_never_duplicate(self, n, seed):
+        rng = np.random.default_rng(seed)
+        rule = MedianRuleWithoutReplacement()
+        samples = rule.sample_contacts(n, rng)
+        own = np.arange(n)
+        assert samples.shape == (n, 2)
+        assert np.all((samples >= 0) & (samples < n))
+        assert np.all(samples[:, 0] != own)
+        assert np.all(samples[:, 1] != own)
+        assert np.all(samples[:, 0] != samples[:, 1])
+
+    @pytest.mark.parametrize("column", [0, 1])
+    def test_noreplace_contacts_marginally_uniform(self, column):
+        # chi-square sanity bound: for each process the sampled contact is
+        # uniform over the other n−1 processes.  Aggregate over processes and
+        # rounds with a fixed seed; dof = n·(n−1) − n cells-ish, so we just
+        # bound the normalized statistic generously.
+        n, rounds = 10, 4000
+        rng = np.random.default_rng(321 + column)
+        rule = MedianRuleWithoutReplacement()
+        counts = np.zeros((n, n), dtype=np.int64)
+        for _ in range(rounds):
+            s = rule.sample_contacts(n, rng)
+            np.add.at(counts, (np.arange(n), s[:, column]), 1)
+        assert np.all(np.diag(counts) == 0)
+        expected = rounds / (n - 1)
+        off = counts[~np.eye(n, dtype=bool)].astype(np.float64)
+        chi2 = float(((off - expected) ** 2 / expected).sum())
+        dof = n * (n - 1) - 1
+        # chi2 concentrates around dof with std ~ sqrt(2·dof); 6 sigma bound
+        assert chi2 < dof + 6.0 * np.sqrt(2.0 * dof), (chi2, dof)
+
+    @given(st.lists(st.tuples(st.integers(min_value=-10**6, max_value=10**6),
+                              st.integers(min_value=-10**6, max_value=10**6),
+                              st.integers(min_value=-10**6, max_value=10**6)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_median_of_three_agrees_with_np_median(self, triples_list):
+        a = np.array([t[0] for t in triples_list], dtype=np.int64)
+        b = np.array([t[1] for t in triples_list], dtype=np.int64)
+        c = np.array([t[2] for t in triples_list], dtype=np.int64)
+        ours = median_of_three(a, b, c)
+        ref = np.median(np.stack([a, b, c]), axis=0).astype(np.int64)
+        assert np.array_equal(ours, ref)
+
+    def test_median_of_three_equal_and_negative_values(self):
+        rng = np.random.default_rng(7)
+        # heavy tie mass: draws from a tiny negative/positive pool
+        pool = np.array([-3, -1, 0, 0, 2])
+        a, b, c = (pool[rng.integers(0, pool.size, 500)] for _ in range(3))
+        ref = np.median(np.stack([a, b, c]), axis=0).astype(np.int64)
+        assert np.array_equal(median_of_three(a, b, c), ref)
