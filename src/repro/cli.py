@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.adversary.strategies import ADVERSARY_REGISTRY, make_adversary
 from repro.core.rules import available_rules, get_rule
-from repro.engine.batch import ENGINES
+from repro.engine.batch import BATCH_ENGINES, ENGINES
 from repro.experiments import figures
 from repro.experiments.reporting import format_report
 from repro.experiments.workloads import WORKLOAD_REGISTRY, make_workload_for_engine
@@ -77,8 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--scale", type=float, default=1.0,
                      help="problem-size scale factor (use <1 for quick runs)")
     swp.add_argument("--runs", type=int, default=None, help="runs per cell")
-    swp.add_argument("--engine", default="vectorized", choices=sorted(ENGINES),
-                     help="simulation substrate for every cell of the sweep")
+    swp.add_argument("--engine", default=None, choices=sorted(BATCH_ENGINES),
+                     help="simulation substrate for every cell of the sweep: "
+                          "'vectorized' (O(n)/round), 'occupancy' (O(m^2)/round, "
+                          "n-independent), or 'occupancy-fused' (all runs of a "
+                          "cell as one count tensor; cells without count-space "
+                          "kernels fall back to vectorized). Default: the "
+                          "sweep's own preference (the paper sweeps use "
+                          "occupancy-fused)")
     swp.add_argument("--json", type=Path, default=None, help="save report as JSON")
     swp.add_argument("--csv", type=Path, default=None, help="save report as CSV")
 
@@ -108,7 +114,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     func = _SWEEPS[args.name]
-    kwargs = {"scale": args.scale, "engine": args.engine}
+    kwargs = {"scale": args.scale}
+    if args.engine is not None:
+        kwargs["engine"] = args.engine
     if args.runs is not None:
         kwargs["num_runs"] = args.runs
     figure = func(**kwargs)
@@ -144,8 +152,11 @@ def _cmd_rules(_: argparse.Namespace) -> int:
     print("\nWorkloads:")
     for name in sorted(WORKLOAD_REGISTRY):
         print(f"  - {name}")
-    print("\nEngines:")
+    print("\nEngines (single-run):")
     for name in sorted(ENGINES):
+        print(f"  - {name}")
+    print("\nEngines (batch/sweep):")
+    for name in sorted(BATCH_ENGINES):
         print(f"  - {name}")
     return 0
 

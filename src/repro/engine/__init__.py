@@ -20,11 +20,40 @@ per round and therefore in where they are fast:
     targeted-median — not sticky/hiding); per-ball quantities (gravity,
     per-process trajectories) are unavailable.
 
-``batch`` (:func:`repro.engine.batch.run_batch` / :func:`~repro.engine.batch.run_batch_fused`)
+``batch`` (:func:`repro.engine.batch.run_batch` / :func:`~repro.engine.batch.run_batch_fused` / :func:`~repro.engine.batch.run_batch_fused_occupancy`)
     Monte-Carlo over independent runs.  ``run_batch`` repeats any single-run
-    engine (select with ``engine="vectorized" | "occupancy"``); the fused
-    variant packs R median-rule runs into one (R, n) array program and is the
-    fastest way to get convergence-round distributions at moderate n.
+    engine (select with ``engine="vectorized" | "occupancy" |
+    "occupancy-fused"``); ``run_batch_fused`` packs R median-rule runs into
+    one (R, n) array program and is the fastest way to get convergence-round
+    distributions at moderate n.  ``run_batch_fused_occupancy``
+    (``engine="occupancy-fused"``) is the count-space analogue: all R runs
+    advance as one (R, m) count tensor, each round building a stacked
+    (R, m, m) outcome tensor and drawing all R·m multinomials in a single
+    call.  Cost model: O(R·m²) time per round **independent of n** and
+    O(R·m² · 8 bytes) peak memory (chunked over runs beyond ~134 MB), versus
+    O(R·m²) time *plus O(R) interpreter round trips* for the looped
+    occupancy path — the fused engine wins by an order of magnitude once R is
+    in the hundreds (``benchmarks/bench_batch_fused.py``), and by far more at
+    large n against the (R, n) value-space engines.
+
+    Supported rule/adversary matrix of the occupancy substrates (single-run
+    and fused alike):
+
+    =================  =========================================================
+    rules              median, median-k (any k), median-noreplace, voter,
+                       minimum, maximum, or any rule defining
+                       ``occupancy_kernel(support, counts)``
+    adversaries        null, balancing, reviving, switching, random,
+                       targeted-median (count-edit forms via
+                       ``Adversary.corrupt_counts``) — **not** sticky/hiding
+                       (identity-tracking)
+    =================  =========================================================
+
+    ``run_batch(engine="occupancy-fused")`` checks the pair up front and
+    falls back to the looped occupancy path when records/results are
+    requested; sweep builders resolve unsupported cells to ``"vectorized"``
+    before any work is spent (:data:`repro.engine.batch.COUNT_ADVERSARIES`,
+    :func:`repro.engine.batch.fused_occupancy_cell_supported`).
 
 ``network`` (:class:`repro.network.simulator.NetworkSimulator`)
     Agent-level message passing with explicit topologies, schedulers and
@@ -34,14 +63,26 @@ per round and therefore in where they are fast:
 
 Rule of thumb: protocol semantics → network; n ≤ 10⁷ or exotic
 rules/adversaries → vectorized (batch/fused for distributions); n beyond that
-with modest m → occupancy.
+with modest m → occupancy; convergence-round *distributions* at any n with
+modest m → occupancy-fused.
 """
 
 from repro.engine.asynchronous import ACTIVATION_ORDERS, AsyncResult, simulate_asynchronous
-from repro.engine.batch import ENGINES, BatchResult, run_batch, run_batch_fused
+from repro.engine.batch import (
+    BATCH_ENGINES,
+    COUNT_ADVERSARIES,
+    ENGINES,
+    BatchResult,
+    fused_occupancy_cell_supported,
+    run_batch,
+    run_batch_fused,
+    run_batch_fused_occupancy,
+)
 from repro.engine.occupancy import (
     occupancy_round,
+    occupancy_round_batch,
     occupancy_transition_matrix,
+    occupancy_transition_matrix_batch,
     simulate_occupancy,
 )
 from repro.engine.parallel import WorkItem, execute_work_items, recommended_workers
@@ -62,9 +103,15 @@ __all__ = [
     "BatchResult",
     "run_batch",
     "run_batch_fused",
+    "run_batch_fused_occupancy",
+    "fused_occupancy_cell_supported",
     "ENGINES",
+    "BATCH_ENGINES",
+    "COUNT_ADVERSARIES",
     "occupancy_round",
+    "occupancy_round_batch",
     "occupancy_transition_matrix",
+    "occupancy_transition_matrix_batch",
     "WorkItem",
     "execute_work_items",
     "recommended_workers",

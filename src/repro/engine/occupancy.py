@@ -71,12 +71,15 @@ from repro.engine.vectorized import default_max_rounds
 
 __all__ = [
     "OCCUPANCY_RULES",
+    "OCCUPANCY_KERNEL_RULE_TYPES",
     "binomial_sf",
     "median_outcome_matrix",
     "median_noreplace_outcome_matrix",
     "single_choice_outcome_matrix",
     "occupancy_transition_matrix",
+    "occupancy_transition_matrix_batch",
     "occupancy_round",
+    "occupancy_round_batch",
     "simulate_occupancy",
 ]
 
@@ -85,7 +88,9 @@ _FULL_RECORD_LIMIT = 100_000
 
 #: Registry names of the built-in rules with an occupancy-space kernel
 #: (rules defining their own ``occupancy_kernel`` also work; this set exists
-#: so sweeps can be filtered *before* work is spent).
+#: so sweeps can be filtered *before* work is spent).  Must track
+#: :data:`OCCUPANCY_KERNEL_RULE_TYPES` below — the object-level source of
+#: truth used by the engine dispatch.
 OCCUPANCY_RULES = frozenset(
     {"median", "median-noreplace", "median-k", "voter", "minimum", "maximum"}
 )
@@ -94,6 +99,12 @@ OCCUPANCY_RULES = frozenset(
 #: single round would allocate gigabytes, and the vectorized engine is the
 #: better substrate anyway (occupancy wins only when m ≪ n).
 MAX_SUPPORT_DEFAULT = 10_000
+
+#: Rule classes :func:`occupancy_transition_matrix` can dispatch on (plus any
+#: rule providing its own ``occupancy_kernel``).  Shared with the batch
+#: layer's support checks so the two cannot drift.
+OCCUPANCY_KERNEL_RULE_TYPES = (MedianRule, BestOfKMedianRule, VoterRule,
+                               MinimumRule, MaximumRule)
 
 
 # ---------------------------------------------------------------------- #
@@ -130,25 +141,30 @@ def median_outcome_matrix(cdf: np.ndarray, k: int = 2) -> np.ndarray:
     For k = 2 this reduces to the classic median-of-three transition
     ``q_b = F_b² − F_{b−1}²`` below, ``(1−F_{b−1})² − (1−F_b)²`` above, and
     ``1 − F_{a−1}² − (1−F_a)²`` on the diagonal.
+
+    ``cdf`` may carry leading batch dimensions ``(..., m)``; the result is the
+    stacked ``(..., m, m)`` outcome tensor (one matrix per run — the kernel of
+    the fused multi-run batch engine).
     """
     F = np.asarray(cdf, dtype=np.float64)
-    m = F.shape[0]
+    m = F.shape[-1]
     if m == 0:
-        return np.zeros((0, 0))
+        return np.zeros(F.shape + (0,))
     r = k // 2
     s_hi = binomial_sf(k, r, F)       # P(new ≤ b) for b ≥ a
     s_lo = binomial_sf(k, r + 1, F)   # P(new ≤ b) for b < a
 
     # row-independent increments of the two CDF branches
-    d_lo = np.diff(s_lo, prepend=0.0)             # used where b < a
-    d_hi = np.diff(s_hi, prepend=0.0)             # used where b > a (b ≥ 1)
-    s_lo_prev = np.concatenate([[0.0], s_lo[:-1]])
+    d_lo = np.diff(s_lo, prepend=0.0, axis=-1)    # used where b < a
+    d_hi = np.diff(s_hi, prepend=0.0, axis=-1)    # used where b > a (b ≥ 1)
+    s_lo_prev = np.concatenate(
+        [np.zeros_like(s_lo[..., :1]), s_lo[..., :-1]], axis=-1)
     diag = s_hi - s_lo_prev                       # P(new = a) for a holder of a
 
     a_idx = np.arange(m)[:, None]
     b_idx = np.arange(m)[None, :]
-    Q = np.where(b_idx < a_idx, d_lo[None, :],
-                 np.where(b_idx > a_idx, d_hi[None, :], diag[None, :]))
+    Q = np.where(b_idx < a_idx, d_lo[..., None, :],
+                 np.where(b_idx > a_idx, d_hi[..., None, :], diag[..., None, :]))
     return _normalize_rows(Q)
 
 
@@ -169,51 +185,60 @@ def median_noreplace_outcome_matrix(counts: np.ndarray) -> np.ndarray:
     diagonal takes the remainder.  Requires n ≥ 3 (the rule itself falls back
     to with-replacement sampling below that, and so does
     :func:`occupancy_transition_matrix`).
+
+    ``counts`` may carry leading batch dimensions ``(..., m)``; every row of
+    the batch must describe the same population size ``n``.
     """
     counts = np.asarray(counts, dtype=np.int64)
-    m = counts.shape[0]
-    n = int(counts.sum())
+    m = counts.shape[-1]
+    n = int(counts.sum(axis=-1).ravel()[0]) if counts.size else 0
+    if counts.ndim > 1 and np.any(counts.sum(axis=-1) != n):
+        raise ValueError("batched without-replacement kernel needs a uniform n")
     if n < 3:
         raise ValueError("without-replacement kernel needs n >= 3")
-    C = np.cumsum(counts).astype(np.float64)
-    C_prev = np.concatenate([[0.0], C[:-1]])
+    C = np.cumsum(counts, axis=-1).astype(np.float64)
+    zeros = np.zeros_like(C[..., :1])
+    C_prev = np.concatenate([zeros, C[..., :-1]], axis=-1)
     D = float(n - 1) * float(n - 2)
 
     below = C * (C - 1.0) / D                    # P(both others ≤ b), b < a
     above = (n - C_prev) * (n - C_prev - 1.0) / D  # P(both others ≥ b), b > a
 
-    d_lo = np.diff(below, prepend=0.0)
-    d_hi = -np.diff(above, append=0.0)
-    below_prev = np.concatenate([[0.0], below[:-1]])
-    above_next = np.concatenate([above[1:], [0.0]])
+    d_lo = np.diff(below, prepend=0.0, axis=-1)
+    d_hi = -np.diff(above, append=0.0, axis=-1)
+    below_prev = np.concatenate([zeros, below[..., :-1]], axis=-1)
+    above_next = np.concatenate([above[..., 1:], zeros], axis=-1)
     diag = 1.0 - below_prev - above_next
 
     a_idx = np.arange(m)[:, None]
     b_idx = np.arange(m)[None, :]
-    Q = np.where(b_idx < a_idx, d_lo[None, :],
-                 np.where(b_idx > a_idx, d_hi[None, :], diag[None, :]))
+    Q = np.where(b_idx < a_idx, d_lo[..., None, :],
+                 np.where(b_idx > a_idx, d_hi[..., None, :], diag[..., None, :]))
     return _normalize_rows(Q)
 
 
 def single_choice_outcome_matrix(cdf: np.ndarray, kind: str) -> np.ndarray:
-    """Outcome matrices of the one-contact baselines (voter / minimum / maximum)."""
+    """Outcome matrices of the one-contact baselines (voter / minimum / maximum).
+
+    ``cdf`` may carry leading batch dimensions ``(..., m)`` → ``(..., m, m)``.
+    """
     F = np.asarray(cdf, dtype=np.float64)
-    m = F.shape[0]
-    p = np.diff(F, prepend=0.0)
+    m = F.shape[-1]
+    p = np.diff(F, prepend=0.0, axis=-1)
     a_idx = np.arange(m)[:, None]
     b_idx = np.arange(m)[None, :]
     if kind == "voter":
-        Q = np.broadcast_to(p[None, :], (m, m)).copy()
+        Q = np.broadcast_to(p[..., None, :], F.shape[:-1] + (m, m)).copy()
     elif kind == "minimum":
         # adopt the sample iff it is smaller, keep own value otherwise
-        F_prev = np.concatenate([[0.0], F[:-1]])
+        F_prev = np.concatenate([np.zeros_like(F[..., :1]), F[..., :-1]], axis=-1)
         stay = 1.0 - F_prev                       # P(sample ≥ own value a)
-        Q = np.where(b_idx < a_idx, p[None, :],
-                     np.where(b_idx == a_idx, stay[None, :], 0.0))
+        Q = np.where(b_idx < a_idx, p[..., None, :],
+                     np.where(b_idx == a_idx, stay[..., None, :], 0.0))
     elif kind == "maximum":
         stay = F.copy()                           # P(sample ≤ own value a)
-        Q = np.where(b_idx > a_idx, p[None, :],
-                     np.where(b_idx == a_idx, stay[None, :], 0.0))
+        Q = np.where(b_idx > a_idx, p[..., None, :],
+                     np.where(b_idx == a_idx, stay[..., None, :], 0.0))
     else:
         raise ValueError(f"unknown single-choice kind {kind!r}")
     return _normalize_rows(Q)
@@ -222,36 +247,28 @@ def single_choice_outcome_matrix(cdf: np.ndarray, kind: str) -> np.ndarray:
 def _normalize_rows(Q: np.ndarray) -> np.ndarray:
     """Clip floating-point negatives and renormalize each row to sum to 1."""
     Q = np.clip(Q, 0.0, None)
-    sums = Q.sum(axis=1, keepdims=True)
+    sums = Q.sum(axis=-1, keepdims=True)
     np.divide(Q, sums, out=Q, where=sums > 0)
     return Q
 
 
-def occupancy_transition_matrix(rule: Rule, counts: np.ndarray) -> np.ndarray:
-    """Build the per-class outcome matrix ``Q`` of one round of ``rule``.
-
-    Dispatches on the rule type; rules outside the built-in families may
-    provide an ``occupancy_kernel(support, counts)`` method (``support`` is
-    passed as ``None`` here since the kernels are label-free — only the order
-    of the bins matters).
-    """
-    counts = np.asarray(counts, dtype=np.int64)
-    n = int(counts.sum())
-    if n == 0:
-        raise ValueError("cannot build a transition for an empty population")
-    m = counts.shape[0]
+def _check_support_width(m: int) -> None:
     if m > MAX_SUPPORT_DEFAULT:
         raise ValueError(
             f"support width m={m} needs an m²={m * m:,}-entry transition matrix "
             f"({m * m * 8 / 1e9:.1f} GB); the occupancy engine targets m ≪ n — "
             "use the vectorized engine for wide supports"
         )
-    hook = getattr(rule, "occupancy_kernel", None)
-    if callable(hook):
-        return _normalize_rows(np.asarray(hook(None, counts), dtype=np.float64))
-    cdf = np.cumsum(counts).astype(np.float64) / float(n)
+
+
+def _builtin_transition(rule: Rule, counts: np.ndarray) -> np.ndarray:
+    """Shared rule-type dispatch; ``counts`` may be ``(m,)`` or batched ``(..., m)``."""
+    n_per_row = counts.sum(axis=-1)
+    if np.any(n_per_row == 0):
+        raise ValueError("cannot build a transition for an empty population")
+    cdf = np.cumsum(counts, axis=-1).astype(np.float64) / n_per_row[..., None]
     if isinstance(rule, MedianRuleWithoutReplacement):
-        if n >= 3:
+        if np.all(n_per_row >= 3):
             return median_noreplace_outcome_matrix(counts)
         return median_outcome_matrix(cdf, k=2)  # the rule's own n<3 fallback
     if isinstance(rule, MedianRule):
@@ -271,6 +288,47 @@ def occupancy_transition_matrix(rule: Rule, counts: np.ndarray) -> np.ndarray:
     )
 
 
+def occupancy_transition_matrix(rule: Rule, counts: np.ndarray) -> np.ndarray:
+    """Build the per-class outcome matrix ``Q`` of one round of ``rule``.
+
+    Dispatches on the rule type; rules outside the built-in families may
+    provide an ``occupancy_kernel(support, counts)`` method (``support`` is
+    passed as ``None`` here since the kernels are label-free — only the order
+    of the bins matters).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    _check_support_width(counts.shape[0])
+    if counts.sum() == 0:
+        raise ValueError("cannot build a transition for an empty population")
+    hook = getattr(rule, "occupancy_kernel", None)
+    if callable(hook):
+        return _normalize_rows(np.asarray(hook(None, counts), dtype=np.float64))
+    return _builtin_transition(rule, counts)
+
+
+def occupancy_transition_matrix_batch(rule: Rule, counts: np.ndarray) -> np.ndarray:
+    """Stacked ``(R, m, m)`` outcome tensor: one transition matrix per run.
+
+    The built-in kernels are genuinely vectorized over the run axis (one pass
+    of batched CDFs / binomial tails for the whole batch); rules providing a
+    custom ``occupancy_kernel`` fall back to a per-run loop so correctness is
+    preserved for them too.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 2:
+        raise ValueError(f"batched counts must be (R, m), got shape {counts.shape}")
+    _check_support_width(counts.shape[1])
+    if np.any(counts.sum(axis=1) == 0):
+        raise ValueError("cannot build a transition for an empty population")
+    hook = getattr(rule, "occupancy_kernel", None)
+    if callable(hook):
+        return np.stack([
+            _normalize_rows(np.asarray(hook(None, row), dtype=np.float64))
+            for row in counts
+        ])
+    return _builtin_transition(rule, counts)
+
+
 # ---------------------------------------------------------------------- #
 # the round and the run
 # ---------------------------------------------------------------------- #
@@ -287,6 +345,34 @@ def occupancy_round(counts: np.ndarray, rule: Rule,
     # one batched draw: row a ~ Multinomial(counts[a], Q[a])
     flows = rng.multinomial(counts, Q)
     return flows.sum(axis=0, dtype=np.int64)
+
+
+def occupancy_round_batch(counts: np.ndarray, rule: Rule,
+                          rng: np.random.Generator) -> np.ndarray:
+    """Advance ``R`` independent runs one synchronous round (exact, O(R·m²)).
+
+    ``counts`` has shape ``(R, m)``: run ``r`` scatters each of its value
+    classes with one multinomial draw from that run's outcome distribution —
+    all ``R·m`` multinomials are drawn in a single reshaped call, so the whole
+    round is a handful of NumPy passes regardless of R.  Each run's population
+    size is conserved exactly, and each row of the result is distributed
+    identically to :func:`occupancy_round` applied to that row alone.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    R, m = counts.shape
+    Q = occupancy_transition_matrix_batch(rule, counts)
+    nz_run, nz_bin = np.nonzero(counts > 0)
+    if nz_run.shape[0] >= R * m:
+        flows = rng.multinomial(counts.reshape(R * m), Q.reshape(R * m, m))
+        return flows.reshape(R, m, m).sum(axis=1, dtype=np.int64)
+    # empty bins scatter nothing: draw only the occupied (run, bin) pairs and
+    # segment-sum the flows back per run (nz_run is sorted row-major, so each
+    # run's pairs are contiguous)
+    flows = rng.multinomial(counts[nz_run, nz_bin], Q[nz_run, nz_bin])
+    out = np.zeros((R, m), dtype=np.int64)
+    starts = np.flatnonzero(np.r_[True, np.diff(nz_run) > 0])
+    out[nz_run[starts]] = np.add.reduceat(flows, starts, axis=0)
+    return out
 
 
 def _as_occupancy(initial: Union[Configuration, OccupancyState, np.ndarray, Sequence[int]]

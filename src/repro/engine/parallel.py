@@ -51,7 +51,8 @@ class WorkItem:
     num_runs, seed, max_rounds:
         Batch size, base seed, and per-run horizon.
     engine:
-        Single-run engine name (``"vectorized"`` or ``"occupancy"``).
+        Batch engine name (``"vectorized"``, ``"occupancy"``, or
+        ``"occupancy-fused"`` — see :data:`repro.engine.batch.BATCH_ENGINES`).
     """
 
     label: str
@@ -75,10 +76,13 @@ class WorkItem:
 def _execute_one(item: WorkItem) -> Dict[str, Any]:
     """Worker entry point: run one cell and return a flat summary dict."""
     # imported here so the worker process resolves registries on its side
+    from repro.experiments.runner import resolve_cell_engine
     from repro.experiments.workloads import make_workload_for_engine
 
     rule = get_rule(item.rule, **item.rule_params)
-    workload = make_workload_for_engine(item.workload, item.engine,
+    engine = resolve_cell_engine(item.rule, item.adversary, item.engine,
+                                 item.workload, item.workload_params)
+    workload = make_workload_for_engine(item.workload, engine,
                                         **item.workload_params)
 
     def adversary_factory():
@@ -92,7 +96,7 @@ def _execute_one(item: WorkItem) -> Dict[str, Any]:
         adversary_factory=adversary_factory if item.adversary_budget > 0 else None,
         seed=item.seed,
         max_rounds=item.max_rounds,
-        engine=item.engine,
+        engine=engine,
     )
     summary = batch.summary()
     summary["label"] = item.label

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
-from repro.engine.batch import ENGINES
+from repro.engine.batch import BATCH_ENGINES
 
 __all__ = ["ExperimentConfig", "SweepConfig"]
 
@@ -40,9 +40,12 @@ class ExperimentConfig:
     seed:
         Base seed; run i uses the i-th spawned child stream.
     engine:
-        Simulation substrate: ``"vectorized"`` (O(n)-per-round value arrays)
-        or ``"occupancy"`` (O(m²)-per-round exact count dynamics; use it for
-        very large n with few distinct values).
+        Simulation substrate: ``"vectorized"`` (O(n)-per-round value arrays),
+        ``"occupancy"`` (O(m²)-per-round exact count dynamics; use it for
+        very large n with few distinct values), or ``"occupancy-fused"``
+        (all runs of the cell advance as one (R, m) count tensor — the
+        fastest way to a convergence-round distribution when the
+        rule/adversary pair has count-space kernels).
     """
 
     name: str
@@ -65,9 +68,9 @@ class ExperimentConfig:
             raise ValueError("num_runs must be positive")
         if self.adversary_budget < 0:
             raise ValueError("adversary_budget must be non-negative")
-        if self.engine not in ENGINES:
+        if self.engine not in BATCH_ENGINES:
             raise ValueError(
-                f"unknown engine {self.engine!r}; available: {sorted(ENGINES)}"
+                f"unknown engine {self.engine!r}; available: {sorted(BATCH_ENGINES)}"
             )
 
     @property
@@ -77,13 +80,9 @@ class ExperimentConfig:
     @property
     def m(self) -> int:
         """Number of initial values implied by the workload (best effort)."""
-        if "m" in self.workload_params:
-            return int(self.workload_params["m"])
-        if self.workload == "all-distinct":
-            return self.n
-        if self.workload == "two-bins":
-            return 2
-        return 0
+        from repro.experiments.workloads import implied_support_width
+
+        return implied_support_width(self.workload, self.workload_params)
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -105,11 +104,25 @@ class SweepConfig:
         self.cells.append(cell)
 
     def with_engine(self, engine: str) -> "SweepConfig":
-        """A copy of the sweep with every cell retargeted to ``engine``."""
+        """A copy of the sweep with every cell retargeted to ``engine``.
+
+        ``"occupancy-fused"`` is applied per cell: cells whose rule/adversary
+        pair has no count-space form (e.g. ``three-majority``, or the sticky /
+        hiding adversaries) or whose support is too wide for count space to
+        win (m² ≫ n, e.g. the all-distinct workload) fall back to
+        ``"vectorized"`` so the sweep still runs end to end — and at the right
+        speed — instead of dying on an unsupported cell.  Resolution is
+        delegated to :func:`repro.experiments.runner.resolve_cell_engine`,
+        the same helper every execution path uses.
+        """
+        from repro.experiments.runner import resolve_cell_engine
+
         return SweepConfig(
             name=self.name,
             description=self.description,
-            cells=[replace(cell, engine=engine) for cell in self.cells],
+            cells=[replace(cell, engine=resolve_cell_engine(
+                cell.rule, cell.adversary, engine,
+                cell.workload, cell.workload_params)) for cell in self.cells],
         )
 
     def __iter__(self) -> Iterator[ExperimentConfig]:

@@ -73,7 +73,7 @@ def _fits_from_report(report: ExperimentReport,
 
 
 def reproduce_figure1(scale: float = 1.0, num_runs: int = 10, seed: int = 808,
-                      engine: str = "vectorized") -> FigureResult:
+                      engine: str = "occupancy-fused") -> FigureResult:
     """FIG1: every cell of the paper's Figure 1 summary table at one n."""
     n = max(128, int(1024 * scale))
     m_many = 32 if n >= 512 else 8
@@ -85,7 +85,7 @@ def reproduce_figure1(scale: float = 1.0, num_runs: int = 10, seed: int = 808,
 
 
 def reproduce_theorem1(scale: float = 1.0, num_runs: int = 15, seed: int = 101,
-                       engine: str = "vectorized") -> FigureResult:
+                       engine: str = "occupancy-fused") -> FigureResult:
     """THM1: O(log n) consensus, all-distinct start, no adversary."""
     base = (64, 128, 256, 512, 1024, 2048)
     ns = tuple(max(16, int(n * scale)) for n in base)
@@ -142,7 +142,7 @@ def reproduce_theorem4(scale: float = 1.0, num_runs: int = 8, seed: int = 404,
 
 
 def reproduce_theorem10(scale: float = 1.0, num_runs: int = 8, seed: int = 505,
-                        engine: str = "vectorized") -> FigureResult:
+                        engine: str = "occupancy-fused") -> FigureResult:
     """THM10: two balanced bins, sqrt(n) adversary, O(log n) rounds."""
     base = (256, 1024, 4096, 16384)
     ns = tuple(max(64, int(n * scale)) for n in base)
@@ -169,7 +169,7 @@ def reproduce_minimum_rule_attack(scale: float = 1.0, num_runs: int = 8, seed: i
 
 
 def reproduce_adversary_threshold(scale: float = 1.0, num_runs: int = 6, seed: int = 707,
-                                  engine: str = "vectorized") -> FigureResult:
+                                  engine: str = "occupancy-fused") -> FigureResult:
     """ADVBOUND: convergence vs adversary strength T = c·sqrt(n)."""
     n = max(256, int(4096 * scale))
     report = run_sweep(adversary_threshold_sweep(n=n, num_runs=num_runs, seed=seed,

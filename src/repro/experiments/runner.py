@@ -5,6 +5,13 @@
 :class:`~repro.experiments.results.CellResult`; :func:`run_sweep` maps it over
 a :class:`~repro.experiments.config.SweepConfig`, optionally with a process
 pool for the independent cells.
+
+Engine routing is delegated to :func:`repro.engine.batch.run_batch`: cells
+with ``engine="occupancy-fused"`` advance all their runs as one (R, m) count
+tensor (no per-run Python loop) when the rule/adversary pair supports it and
+fall back to the looped occupancy path otherwise; the workload is built in
+the matching representation by
+:func:`~repro.experiments.workloads.make_workload_for_engine`.
 """
 
 from __future__ import annotations
@@ -16,19 +23,47 @@ import numpy as np
 from repro.adversary.strategies import make_adversary
 from repro.core.rules import get_rule
 from repro.core.state import Configuration
-from repro.engine.batch import run_batch
+from repro.engine.batch import fused_occupancy_cell_supported, run_batch
 from repro.engine.parallel import WorkItem, execute_work_items
 from repro.experiments.config import ExperimentConfig, SweepConfig
 from repro.experiments.results import CellResult, ExperimentReport
-from repro.experiments.workloads import make_workload_for_engine
+from repro.experiments.workloads import (
+    implied_support_width,
+    make_workload_for_engine,
+)
 
-__all__ = ["run_cell", "run_sweep"]
+__all__ = ["resolve_cell_engine", "run_cell", "run_sweep"]
+
+
+def resolve_cell_engine(rule: str, adversary: str, engine: str,
+                        workload: Optional[str] = None,
+                        workload_params: Optional[dict] = None) -> str:
+    """The engine a cell actually executes on.
+
+    ``"occupancy-fused"`` cells whose rule/adversary pair has no count-space
+    form — or whose support is too wide for count space to win (m² ≫ n,
+    e.g. the all-distinct workload where m = n) — fall back to
+    ``"vectorized"``, so every entry point (sweeps, direct :func:`run_cell`,
+    pooled :class:`~repro.engine.parallel.WorkItem` execution) degrades
+    identically *before* a workload is built in the wrong representation.
+    """
+    if engine != "occupancy-fused":
+        return engine
+    n = m = None
+    if workload_params:
+        n = int(workload_params.get("n", 0)) or None
+        m = implied_support_width(workload or "", workload_params) or None
+    if not fused_occupancy_cell_supported(rule, adversary, n=n, m=m):
+        return "vectorized"
+    return engine
 
 
 def run_cell(config: ExperimentConfig) -> CellResult:
     """Execute one experiment cell in-process and summarize it."""
     rule = get_rule(config.rule, **config.rule_params)
-    workload = make_workload_for_engine(config.workload, config.engine,
+    engine = resolve_cell_engine(config.rule, config.adversary, config.engine,
+                                 config.workload, config.workload_params)
+    workload = make_workload_for_engine(config.workload, engine,
                                         **config.workload_params)
 
     adversary_factory = None
@@ -44,7 +79,7 @@ def run_cell(config: ExperimentConfig) -> CellResult:
         adversary_factory=adversary_factory,
         seed=config.seed,
         max_rounds=config.max_rounds,
-        engine=config.engine,
+        engine=engine,
     )
     return CellResult(
         config=config,
@@ -56,7 +91,7 @@ def run_cell(config: ExperimentConfig) -> CellResult:
         max_rounds=batch.max_rounds,
         rounds=[float(r) for r in batch.rounds],
         extra={"rule": config.rule, "adversary": config.adversary,
-               "engine": config.engine},
+               "engine": engine},
     )
 
 

@@ -6,9 +6,16 @@ benchmark harness calls these with small default sizes (so
 ``pytest benchmarks/`` finishes in minutes); the CLI and EXPERIMENTS.md use
 larger grids.
 
-Every builder accepts ``engine="vectorized" | "occupancy"`` and retargets all
-of its cells; the occupancy engine makes the same sweeps feasible at
-n = 10⁸–10⁹ for fixed m (see :mod:`repro.engine.occupancy`).
+Every builder accepts ``engine="vectorized" | "occupancy" | "occupancy-fused"``
+and retargets all of its cells; the occupancy engines make the same sweeps
+feasible at n = 10⁸–10⁹ for fixed m (see :mod:`repro.engine.occupancy`).
+The sweeps whose default rule/adversary pairs all have count-space kernels
+(theorem1, theorem10, figure1, adversary-threshold) default to the fused
+multi-run occupancy engine (:func:`repro.engine.batch.run_batch_fused_occupancy`,
+one (R, m) count tensor per cell); cells whose rule/adversary pair lacks a
+count-space form are resolved back to ``"vectorized"`` by
+:meth:`~repro.experiments.config.SweepConfig.with_engine`, i.e. they fall back
+to the looped :func:`~repro.engine.batch.run_batch` path.
 """
 
 from __future__ import annotations
@@ -45,7 +52,7 @@ DEFAULT_ADVERSARY_CONSTANT = 0.25
 
 def theorem1_sweep(ns: Sequence[int] = (64, 128, 256, 512, 1024, 2048),
                    num_runs: int = 20, seed: int = 101,
-                   engine: str = "vectorized") -> SweepConfig:
+                   engine: str = "occupancy-fused") -> SweepConfig:
     """THM1: worst-case (all-distinct) initial state, no adversary, n sweep."""
     sweep = SweepConfig(
         name="theorem1",
@@ -161,7 +168,7 @@ def theorem10_sweep(ns: Sequence[int] = (256, 1024, 4096, 16384),
                     num_runs: int = 10, seed: int = 505,
                     balanced: bool = True,
                     adversary_constant: float = DEFAULT_ADVERSARY_CONSTANT,
-                    engine: str = "vectorized") -> SweepConfig:
+                    engine: str = "occupancy-fused") -> SweepConfig:
     """THM10: two bins (balanced worst case) with a sqrt(n)-bounded adversary."""
     sweep = SweepConfig(
         name="theorem10",
@@ -213,7 +220,7 @@ def minimum_rule_attack_sweep(n: int = 1024, num_runs: int = 10, seed: int = 606
 def adversary_threshold_sweep(n: int = 4096,
                               constants: Sequence[float] = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
                               num_runs: int = 10, seed: int = 707,
-                              engine: str = "vectorized") -> SweepConfig:
+                              engine: str = "occupancy-fused") -> SweepConfig:
     """ADVBOUND: balancing adversary with T = c·sqrt(n) for a range of c."""
     sweep = SweepConfig(
         name="adversary-threshold",
@@ -239,7 +246,7 @@ def adversary_threshold_sweep(n: int = 4096,
 def figure1_sweep(n: int = 1024, m_many: int = 32, num_runs: int = 10,
                   seed: int = 808,
                   adversary_constant: float = DEFAULT_ADVERSARY_CONSTANT,
-                  engine: str = "vectorized") -> SweepConfig:
+                  engine: str = "occupancy-fused") -> SweepConfig:
     """FIG1: one cell per entry of the paper's Figure 1 summary table."""
     budget = adversary_budget_sqrt_n(n, adversary_constant)
     sweep = SweepConfig(

@@ -42,6 +42,7 @@ from repro.core.state import Configuration
 
 __all__ = [
     "WorkloadFactory",
+    "implied_support_width",
     "all_distinct_workload",
     "two_bins_workload",
     "uniform_random_workload",
@@ -55,6 +56,23 @@ __all__ = [
 ]
 
 WorkloadFactory = Union[Configuration, Callable[[np.random.Generator], Configuration]]
+
+
+def implied_support_width(name: str, params: Dict[str, object]) -> int:
+    """Number of distinct initial values a workload implies (0 if unknown).
+
+    The single source for the ``m`` a cell's engine-selection logic reasons
+    about: explicit ``m`` parameters win, ``all-distinct`` implies m = n,
+    ``two-bins`` implies 2 (see ``ExperimentConfig.m`` and
+    ``repro.experiments.runner.resolve_cell_engine``).
+    """
+    if "m" in params:
+        return int(params["m"])
+    if name == "all-distinct":
+        return int(params.get("n", 0))
+    if name == "two-bins":
+        return 2
+    return 0
 
 OccupancyWorkloadFactory = Union[
     OccupancyState, Callable[[np.random.Generator], OccupancyState]
@@ -270,9 +288,10 @@ def make_workload_for_engine(name: str, engine: str, **params
                              ) -> Union[WorkloadFactory, OccupancyWorkloadFactory]:
     """Build the initial state in the representation the engine simulates in.
 
-    ``"occupancy"`` gets O(m) count vectors (so n = 10⁹ cells never
-    materialize a value array); every other engine gets the per-process form.
+    ``"occupancy"`` and ``"occupancy-fused"`` get O(m) count vectors (so
+    n = 10⁹ cells never materialize a value array); every other engine gets
+    the per-process form.
     """
-    if engine == "occupancy":
+    if engine in ("occupancy", "occupancy-fused"):
         return make_occupancy_workload(name, **params)
     return make_workload(name, **params)
