@@ -49,10 +49,17 @@ from repro.engine.batch import (
     run_batch_fused,
     run_batch_fused_occupancy,
 )
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.workloads import make_workload_for_engine
+from repro.store.artifacts import ArtifactRegistry, build_provenance
+from repro.store.hashing import cell_key
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 ARTIFACT = REPO_ROOT / "BENCH_batch_fused.json"
+#: provenance ledger of repo-root bench artifacts (repro.store.artifacts)
+REGISTRY = REPO_ROOT / "ARTIFACTS.json"
+#: base seed of every timed cell (engines use small offsets from it)
+BASE_SEED = 1234
 
 #: value-space engines materialize (R, n) tensors; skip them beyond this
 VALUE_SPACE_ELEM_LIMIT = 2 ** 24
@@ -167,9 +174,52 @@ def run_grid(grid: List[Tuple[int, int, int]], mode: str) -> Dict[str, object]:
     return report
 
 
+def bench_cell_config(n: int, m: int, R: int) -> ExperimentConfig:
+    """The experiment-cell description of one timed (n, m, R) bench point."""
+    return ExperimentConfig(
+        name=f"bench:n={n},m={m},R={R}",
+        workload="blocks",
+        workload_params={"n": int(n), "m": int(m)},
+        rule="median",
+        num_runs=int(R),
+        seed=BASE_SEED,
+    )
+
+
+def stamp_report(report: Dict[str, object]) -> Dict[str, object]:
+    """Attach store keys + git provenance to a bench report (in place).
+
+    Each timed (n, m, R) point maps to the content-addressed key of its
+    experiment cell (:func:`repro.store.hashing.cell_key` — engine excluded
+    by construction, so one key covers all engines timed on the cell), and
+    the report records the git SHA / package version that produced the
+    numbers, making every perf trajectory traceable to an exact config.
+    """
+    keys = {}
+    for cell in report["cells"]:
+        cfg = bench_cell_config(cell["n"], cell["m"], cell["R"])
+        key = cell_key(cfg)
+        cell["cell_key"] = key
+        keys[cfg.name] = key
+    report["provenance"] = build_provenance(
+        keys, extra={"base_seed": BASE_SEED,
+                     "seed_note": "engines are timed with per-engine offsets "
+                                  "(base_seed .. base_seed+3)"})
+    return report
+
+
 def write_artifact(report: Dict[str, object], path: Path = ARTIFACT) -> None:
     path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {path}")
+    if report.get("mode") == "full":
+        # only the committed full-grid baseline enters the committed ledger;
+        # reduced-mode CI smoke artifacts are ephemeral
+        ArtifactRegistry(REGISTRY).register(
+            path, kind="benchmark",
+            cell_keys=report.get("provenance", {}).get("cell_keys", {}),
+            extra={"bench": report.get("bench"), "mode": report.get("mode")})
+        print(f"wrote {path} (registered in {REGISTRY.name})")
+    else:
+        print(f"wrote {path}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -182,11 +232,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "BENCH_batch_fused.json; reduced mode writes "
                              "BENCH_batch_fused.reduced.json so the committed "
                              "full-grid baseline is never clobbered)")
+    parser.add_argument("--stamp-only", action="store_true",
+                        help="re-stamp an existing artifact with cell keys + "
+                             "git provenance without re-timing anything")
     args = parser.parse_args(argv)
     if args.out is None:
         args.out = (ARTIFACT.with_suffix(".reduced.json") if args.reduced
                     else ARTIFACT)
 
+    if args.stamp_only:
+        report = json.loads(args.out.read_text())
+        write_artifact(stamp_report(report), args.out)
+        return 0
     if args.reduced:
         report = run_grid(REDUCED_GRID, mode="reduced")
         speedup = report["cells"][0]["speedup_fused_occupancy_vs_occupancy"]
@@ -197,7 +254,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"reduced-mode smoke ok: {speedup}x >= 2x")
     else:
         report = run_grid(FULL_GRID, mode="full")
-    write_artifact(report, args.out)
+    write_artifact(stamp_report(report), args.out)
     return 0
 
 

@@ -8,7 +8,20 @@ Subcommands
 
 ``sweep``
     Run one of the named experiment sweeps (theorem1, theorem3, figure1, ...)
-    and print its table; optionally save JSON/CSV.
+    and print its table; optionally save JSON/CSV.  With ``--store DIR`` the
+    sweep runs through :class:`repro.store.CachedSweepRunner`: each cell is
+    keyed by a canonical hash of its config (workload/rule/adversary/params/
+    runs/seed — *not* its label or engine, which are equal in distribution),
+    already-stored cells are served from the cache, and every freshly
+    executed cell is persisted as it completes, so an interrupted sweep
+    resumes from the last finished cell.  Escape hatches: ``--no-cache``
+    ignores the store for this invocation; ``--rerun`` recomputes every cell
+    and overwrites its store entry (use after semantics-changing code edits).
+
+``store``
+    Inspect and maintain a result store: ``ls`` (table of cached cells),
+    ``info`` (aggregate facts or one full record), ``gc`` (validate payloads,
+    quarantine corrupted ones, rebuild the index).
 
 ``figure1``
     Regenerate the paper's Figure 1 summary table.
@@ -87,12 +100,37 @@ def build_parser() -> argparse.ArgumentParser:
                           "occupancy-fused)")
     swp.add_argument("--json", type=Path, default=None, help="save report as JSON")
     swp.add_argument("--csv", type=Path, default=None, help="save report as CSV")
+    swp.add_argument("--store", type=Path, default=None,
+                     help="result-store directory: serve cached cells from it "
+                          "and persist fresh cells as they complete "
+                          "(resumable; prints hits/misses)")
+    swp.add_argument("--no-cache", action="store_true",
+                     help="ignore --store for this invocation (recompute "
+                          "everything, write nothing)")
+    swp.add_argument("--rerun", action="store_true",
+                     help="recompute every cell and overwrite its store entry")
 
     fig = sub.add_parser("figure1", help="regenerate the paper's Figure 1 table")
     fig.add_argument("--scale", type=float, default=1.0)
     fig.add_argument("--runs", type=int, default=10)
 
     sub.add_parser("rules", help="list registered rules, adversaries and workloads")
+
+    sto = sub.add_parser("store", help="inspect / maintain a result store")
+    sto_sub = sto.add_subparsers(dest="store_command")
+    sto_ls = sto_sub.add_parser("ls", help="list cached cells")
+    sto_ls.add_argument("--store", type=Path, required=True)
+    sto_info = sto_sub.add_parser("info", help="store summary, or one record")
+    sto_info.add_argument("--store", type=Path, required=True)
+    sto_info.add_argument("key", nargs="?", default=None,
+                          help="full or unambiguous-prefix cell key")
+    sto_gc = sto_sub.add_parser("gc", help="validate payloads, rebuild index")
+    sto_gc.add_argument("--store", type=Path, required=True)
+    sto_gc.add_argument("--drop-schema-mismatch", action="store_true",
+                        help="delete records written under another schema "
+                             "version")
+    sto_gc.add_argument("--drop-quarantine", action="store_true",
+                        help="delete previously quarantined payloads")
     return parser
 
 
@@ -113,12 +151,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.store import ArtifactRegistry, CachedSweepRunner, ResultStore
+
     func = _SWEEPS[args.name]
     kwargs = {"scale": args.scale}
     if args.engine is not None:
         kwargs["engine"] = args.engine
     if args.runs is not None:
         kwargs["num_runs"] = args.runs
+
+    runner = None
+    store = None
+    if args.store is not None and not args.no_cache:
+        store = ResultStore(args.store)
+        runner = CachedSweepRunner(store, rerun=args.rerun)
+        kwargs["runner"] = runner
+
     figure = func(**kwargs)
     print(figure.table)
     if figure.fits:
@@ -126,13 +174,69 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for fit in figure.fits:
             print(f"  {fit.predictor_name}: slope={fit.slope:.3f}, "
                   f"intercept={fit.intercept:.3f}, R^2={fit.r_squared:.4f}")
+    if runner is not None:
+        print(f"\ncache: {runner.last_stats.summary()} (store: {args.store})")
+
+    cell_keys = figure.report.meta.get("store", {}).get("keys", {})
     if args.json is not None:
         figure.report.save_json(args.json)
         print(f"\nsaved JSON report to {args.json}")
+        if store is not None:
+            ArtifactRegistry(store.root / "artifacts.json").register(
+                args.json, kind="sweep-report-json", cell_keys=cell_keys,
+                extra={"sweep": args.name})
     if args.csv is not None:
         figure.report.save_csv(args.csv)
         print(f"saved CSV report to {args.csv}")
+        if store is not None:
+            ArtifactRegistry(store.root / "artifacts.json").register(
+                args.csv, kind="sweep-report-csv", cell_keys=cell_keys,
+                extra={"sweep": args.name})
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.io.tables import render_table
+    from repro.store import ResultStore
+
+    if args.store_command is None:
+        print("usage: repro-consensus store {ls,info,gc} --store DIR")
+        return 1
+    store = ResultStore(args.store)
+    if args.store_command == "ls":
+        rows = store.ls_rows()
+        print(render_table(rows) if rows else "(empty store)")
+        return 0
+    if args.store_command == "info":
+        if args.key is None:
+            print(render_kv(store.info(), title=f"store {store.root}"))
+            return 0
+        matches = [k for k in store.keys() if k.startswith(args.key)]
+        if len(matches) != 1:
+            print(f"key {args.key!r}: "
+                  f"{'no match' if not matches else f'{len(matches)} matches'}")
+            return 1
+        record = store.get(matches[0])
+        if record is None:
+            print(f"key {matches[0]} is unreadable (quarantined)")
+            return 1
+        print(render_kv({
+            "key": record.key,
+            "cell": record.config.get("name", ""),
+            "schema": record.schema,
+            **{f"config.{k}": v for k, v in sorted(record.config.items())},
+            **{f"provenance.{k}": v for k, v in sorted(record.provenance.items())},
+            "mean_rounds": record.result.mean_rounds,
+            "convergence_fraction": record.result.convergence_fraction,
+        }, title="store record"))
+        return 0
+    if args.store_command == "gc":
+        counts = store.gc(drop_schema_mismatch=args.drop_schema_mismatch,
+                          drop_quarantine=args.drop_quarantine)
+        print(f"gc: kept={counts['kept']} quarantined={counts['quarantined']} "
+              f"dropped={counts['dropped']}")
+        return 0
+    return 1
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
@@ -173,6 +277,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure1(args)
     if args.command == "rules":
         return _cmd_rules(args)
+    if args.command == "store":
+        return _cmd_store(args)
     parser.print_help()
     return 1
 

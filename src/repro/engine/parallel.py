@@ -17,9 +17,9 @@ and CI-friendly.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,7 +28,8 @@ from repro.core.rules import get_rule
 from repro.core.state import Configuration
 from repro.engine.batch import BatchResult, run_batch
 
-__all__ = ["WorkItem", "execute_work_items", "recommended_workers"]
+__all__ = ["WorkItem", "execute_work_items", "iter_work_item_results",
+           "recommended_workers"]
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,7 @@ def _execute_one(item: WorkItem) -> Dict[str, Any]:
     )
     summary = batch.summary()
     summary["label"] = item.label
+    summary["engine"] = engine   # resolved engine, for result provenance
     summary["workload"] = item.workload
     summary["adversary"] = item.adversary
     summary["adversary_budget"] = item.adversary_budget
@@ -144,3 +146,39 @@ def execute_work_items(
     except (OSError, ValueError, RuntimeError):
         # Sandboxed or fork-restricted environments: degrade gracefully.
         return [_execute_one(item) for item in items]
+
+
+def iter_work_item_results(
+    items: Sequence[WorkItem],
+    max_workers: Optional[int] = None,
+) -> Iterator[Tuple[int, Dict[str, Any]]]:
+    """Yield ``(index, summary)`` pairs as work items *complete*.
+
+    Unlike :func:`execute_work_items` (a barrier that returns everything in
+    submission order), results are yielded in completion order, so callers
+    can persist each cell the moment it finishes — the property
+    :class:`repro.store.CachedSweepRunner` needs for interrupt-resume on the
+    pooled path.  Worker/fallback conventions match
+    :func:`execute_work_items`; items whose result was already yielded are
+    never re-executed by the serial fallback.
+    """
+    items = list(items)
+    if not items:
+        return
+    workers = recommended_workers() if max_workers is None else int(max_workers)
+    done: set = set()
+    if workers > 1 and len(items) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(_execute_one, item): i
+                           for i, item in enumerate(items)}
+                for future in as_completed(futures):
+                    index = futures[future]
+                    done.add(index)
+                    yield index, future.result()
+            return
+        except (OSError, ValueError, RuntimeError):
+            pass   # sandboxed/fork-restricted: fall through to serial
+    for i, item in enumerate(items):
+        if i not in done:
+            yield i, _execute_one(item)

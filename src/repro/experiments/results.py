@@ -4,6 +4,14 @@ A :class:`CellResult` summarizes one executed experiment cell; an
 :class:`ExperimentReport` groups the cells of a sweep with its metadata and
 supports round-tripping to JSON and CSV so EXPERIMENTS.md tables can be
 regenerated without re-running simulations.
+
+The dict forms are schema-versioned (:data:`RESULT_SCHEMA_VERSION`): every
+``to_dict`` stamps a ``"schema"`` field, ``from_dict`` accepts records up to
+the current version (pre-versioning records count as version 1), and the
+JSON writers use the strict non-finite encoding from
+:mod:`repro.io.serialization` so NaN/inf metric values survive a round trip
+through parsers that reject ``NaN`` literals.  :mod:`repro.store` persists
+these same dict forms as its payload records.
 """
 
 from __future__ import annotations
@@ -17,8 +25,21 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
+from repro.io.serialization import from_jsonable, to_jsonable
 
-__all__ = ["CellResult", "ExperimentReport"]
+__all__ = ["RESULT_SCHEMA_VERSION", "CellResult", "ExperimentReport"]
+
+#: Version of the CellResult/ExperimentReport dict schema.  Version 1 is the
+#: original unstamped format; version 2 added the ``"schema"`` field itself.
+RESULT_SCHEMA_VERSION = 2
+
+
+def _check_schema(data: Dict[str, Any], what: str) -> None:
+    version = int(data.get("schema", 1))
+    if version > RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"{what} record has schema version {version}, newer than this "
+            f"package understands ({RESULT_SCHEMA_VERSION}); upgrade repro")
 
 
 def _to_builtin(value: Any) -> Any:
@@ -60,6 +81,7 @@ class CellResult:
 
     def to_dict(self) -> Dict[str, Any]:
         return _to_builtin({
+            "schema": RESULT_SCHEMA_VERSION,
             "config": self.config.to_dict(),
             "num_runs": self.num_runs,
             "convergence_fraction": self.convergence_fraction,
@@ -73,6 +95,7 @@ class CellResult:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CellResult":
+        _check_schema(data, "CellResult")
         return cls(
             config=ExperimentConfig.from_dict(data["config"]),
             num_runs=int(data["num_runs"]),
@@ -127,6 +150,7 @@ class ExperimentReport:
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
         return _to_builtin({
+            "schema": RESULT_SCHEMA_VERSION,
             "name": self.name,
             "description": self.description,
             "meta": self.meta,
@@ -135,6 +159,7 @@ class ExperimentReport:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentReport":
+        _check_schema(data, "ExperimentReport")
         return cls(
             name=data["name"],
             description=data.get("description", ""),
@@ -145,12 +170,13 @@ class ExperimentReport:
     def save_json(self, path: str | Path) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2))
+        path.write_text(json.dumps(to_jsonable(self.to_dict()), indent=2,
+                                   allow_nan=False))
         return path
 
     @classmethod
     def load_json(cls, path: str | Path) -> "ExperimentReport":
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        return cls.from_dict(from_jsonable(json.loads(Path(path).read_text())))
 
     def save_csv(self, path: str | Path) -> Path:
         path = Path(path)

@@ -12,11 +12,26 @@ tensor (no per-run Python loop) when the rule/adversary pair supports it and
 fall back to the looped occupancy path otherwise; the workload is built in
 the matching representation by
 :func:`~repro.experiments.workloads.make_workload_for_engine`.
+
+Caching
+-------
+:func:`run_sweep` always recomputes.  For cached, resumable execution wrap a
+sweep in :class:`repro.store.CachedSweepRunner`, which keys each cell by the
+canonical hash of its config (:func:`repro.store.hashing.cell_key`).  The key
+covers everything that determines the sampled distribution — workload +
+params, rule + params, adversary + budget + params, ``num_runs``,
+``max_rounds``, ``seed`` — and deliberately excludes ``name`` and ``engine``:
+the three engines are equal in distribution (pinned by the differential
+tests), so a sweep retargeted via ``SweepConfig.with_engine`` keeps its cache
+hits, with the engine that actually produced a stored result recorded as
+provenance.  The CLI exposes this as ``sweep --store DIR`` with ``--no-cache``
+(bypass the store entirely) and ``--rerun`` (recompute and overwrite) as the
+escape hatches.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -32,7 +47,13 @@ from repro.experiments.workloads import (
     make_workload_for_engine,
 )
 
-__all__ = ["resolve_cell_engine", "run_cell", "run_sweep"]
+__all__ = [
+    "resolve_cell_engine",
+    "run_cell",
+    "run_sweep",
+    "work_item_for_cell",
+    "cell_result_from_pool_summary",
+]
 
 
 def resolve_cell_engine(rule: str, adversary: str, engine: str,
@@ -95,6 +116,48 @@ def run_cell(config: ExperimentConfig) -> CellResult:
     )
 
 
+def work_item_for_cell(cell: ExperimentConfig) -> WorkItem:
+    """Translate a cell into the picklable process-pool work description."""
+    return WorkItem(
+        label=cell.name,
+        workload=cell.workload,
+        workload_params=cell.workload_params,
+        rule=cell.rule,
+        rule_params=cell.rule_params,
+        adversary=cell.adversary,
+        adversary_budget=cell.adversary_budget,
+        adversary_params=cell.adversary_params,
+        num_runs=cell.num_runs,
+        seed=cell.seed,
+        max_rounds=cell.max_rounds,
+        engine=cell.engine,
+    )
+
+
+def cell_result_from_pool_summary(cell: ExperimentConfig,
+                                  summary: Dict[str, Any]) -> CellResult:
+    """Build a :class:`CellResult` from a pooled worker's flat summary.
+
+    The pooled path ships aggregate statistics only (no per-run rounds), so
+    ``rounds`` is empty; the resolved engine travels back in the summary for
+    provenance.
+    """
+    extra: Dict[str, Any] = {"parallel": True}
+    if "engine" in summary:
+        extra["engine"] = summary["engine"]
+    return CellResult(
+        config=cell,
+        num_runs=int(summary["num_runs"]),
+        convergence_fraction=float(summary["convergence_fraction"]),
+        mean_rounds=float(summary["mean_rounds"]),
+        median_rounds=float(summary["median_rounds"]),
+        p90_rounds=float(summary["p90_rounds"]),
+        max_rounds=float(summary["max_rounds"]),
+        rounds=[],
+        extra=extra,
+    )
+
+
 def run_sweep(sweep: SweepConfig, max_workers: Optional[int] = 0) -> ExperimentReport:
     """Execute every cell of a sweep.
 
@@ -121,34 +184,8 @@ def run_sweep(sweep: SweepConfig, max_workers: Optional[int] = 0) -> ExperimentR
     # Parallel path: translate cells to picklable WorkItems.  The pooled path
     # returns flat summaries (not per-run rounds); cells needing per-run data
     # should be run serially.
-    items = [
-        WorkItem(
-            label=cell.name,
-            workload=cell.workload,
-            workload_params=cell.workload_params,
-            rule=cell.rule,
-            rule_params=cell.rule_params,
-            adversary=cell.adversary,
-            adversary_budget=cell.adversary_budget,
-            adversary_params=cell.adversary_params,
-            num_runs=cell.num_runs,
-            seed=cell.seed,
-            max_rounds=cell.max_rounds,
-            engine=cell.engine,
-        )
-        for cell in sweep
-    ]
+    items = [work_item_for_cell(cell) for cell in sweep]
     summaries = execute_work_items(items, max_workers=max_workers)
     for cell, summary in zip(sweep, summaries):
-        report.add(CellResult(
-            config=cell,
-            num_runs=int(summary["num_runs"]),
-            convergence_fraction=float(summary["convergence_fraction"]),
-            mean_rounds=float(summary["mean_rounds"]),
-            median_rounds=float(summary["median_rounds"]),
-            p90_rounds=float(summary["p90_rounds"]),
-            max_rounds=float(summary["max_rounds"]),
-            rounds=[],
-            extra={"parallel": True},
-        ))
+        report.add(cell_result_from_pool_summary(cell, summary))
     return report

@@ -1,17 +1,21 @@
 """Persistence and table-rendering helpers."""
 
 from repro.io.serialization import (
+    from_jsonable,
     load_result_summary,
     load_rounds_npz,
     load_trajectory_npz,
     save_result_summary,
     save_rounds_npz,
     save_trajectory_npz,
+    to_jsonable,
 )
 from repro.io.plots import ascii_plot, histogram, sparkline
 from repro.io.tables import render_kv, render_table
 
 __all__ = [
+    "to_jsonable",
+    "from_jsonable",
     "save_result_summary",
     "load_result_summary",
     "save_trajectory_npz",

@@ -3,11 +3,28 @@
 JSON is used for anything human-inspectable (experiment reports, run
 summaries); ``.npz`` is used for bulk numeric data (trajectories, batched
 round samples).  Both formats round-trip through the loaders in this module.
+
+Non-finite floats
+-----------------
+NaN and ±inf occur routinely in this codebase (non-converged runs, drift
+summaries), but ``NaN``/``Infinity`` literals are a Python extension that
+strict JSON parsers reject.  The convention used by every JSON writer here
+(and by :mod:`repro.store`) is an explicit tagged object::
+
+    float("nan")   ->  {"__float__": "nan"}
+    float("inf")   ->  {"__float__": "inf"}
+    float("-inf")  ->  {"__float__": "-inf"}
+
+:func:`to_jsonable` applies the encoding (along with NumPy → builtin
+conversion); :func:`from_jsonable` inverts it.  Writers pass
+``allow_nan=False`` to :func:`json.dumps` so any value that slipped past the
+encoder fails loudly instead of emitting invalid JSON.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
@@ -18,6 +35,8 @@ from repro.engine.run import SimulationResult
 from repro.engine.trajectory import Trajectory
 
 __all__ = [
+    "to_jsonable",
+    "from_jsonable",
     "save_result_summary",
     "load_result_summary",
     "save_trajectory_npz",
@@ -26,16 +45,29 @@ __all__ = [
     "load_rounds_npz",
 ]
 
+#: Tag key of the non-finite float encoding (see module docstring).
+NONFINITE_TAG = "__float__"
+
+
+def _encode_float(value: float) -> Any:
+    if math.isnan(value):
+        return {NONFINITE_TAG: "nan"}
+    if value == math.inf:
+        return {NONFINITE_TAG: "inf"}
+    if value == -math.inf:
+        return {NONFINITE_TAG: "-inf"}
+    return value
+
 
 def _jsonable(value: Any) -> Any:
     if isinstance(value, (np.integer,)):
         return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
+    if isinstance(value, (float, np.floating)):
+        return _encode_float(float(value))
     if isinstance(value, (np.bool_,)):
         return bool(value)
     if isinstance(value, np.ndarray):
-        return value.tolist()
+        return _jsonable(value.tolist())
     if isinstance(value, dict):
         return {k: _jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
@@ -43,17 +75,38 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
+def to_jsonable(value: Any) -> Any:
+    """Convert ``value`` to strict-JSON-safe plain Python.
+
+    NumPy scalars/arrays become builtins/lists; non-finite floats become
+    tagged ``{"__float__": ...}`` objects (invert with :func:`from_jsonable`).
+    """
+    return _jsonable(value)
+
+
+def from_jsonable(value: Any) -> Any:
+    """Invert :func:`to_jsonable`: decode tagged non-finite floats in place."""
+    if isinstance(value, dict):
+        if set(value) == {NONFINITE_TAG}:
+            return float(value[NONFINITE_TAG])
+        return {k: from_jsonable(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [from_jsonable(v) for v in value]
+    return value
+
+
 def save_result_summary(result: SimulationResult, path: str | Path) -> Path:
     """Write a run's flat summary (not its trajectory) as JSON."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(_jsonable(result.summary()), indent=2))
+    path.write_text(json.dumps(to_jsonable(result.summary()), indent=2,
+                               allow_nan=False))
     return path
 
 
 def load_result_summary(path: str | Path) -> Dict[str, Any]:
     """Load a summary written by :func:`save_result_summary`."""
-    return json.loads(Path(path).read_text())
+    return from_jsonable(json.loads(Path(path).read_text()))
 
 
 def save_trajectory_npz(trajectory: Trajectory, path: str | Path) -> Path:

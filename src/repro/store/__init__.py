@@ -1,0 +1,33 @@
+"""repro.store — content-addressed result store and cache-aware sweeps.
+
+The persistence substrate for sweep traffic: cells are keyed by a canonical,
+engine-independent hash of their :class:`~repro.experiments.config.ExperimentConfig`
+(:mod:`repro.store.hashing`), executed results live in a directory-backed
+:class:`ResultStore` (:mod:`repro.store.store`), sweeps run through the
+resumable :class:`CachedSweepRunner` (:mod:`repro.store.runner`), and derived
+outputs (benchmarks, figures, saved reports) record their input keys and git
+revision via :mod:`repro.store.artifacts`.
+
+CLI surface: ``repro-consensus sweep --store DIR [--no-cache|--rerun]`` and
+``repro-consensus store {ls,info,gc}``.
+"""
+
+from repro.store.artifacts import ArtifactRegistry, build_provenance, git_sha
+from repro.store.hashing import canonical_cell_dict, cell_key, short_key
+from repro.store.runner import CachedSweepRunner, CacheStats, run_sweep_cached
+from repro.store.store import STORE_SCHEMA_VERSION, ResultStore, StoreRecord
+
+__all__ = [
+    "cell_key",
+    "short_key",
+    "canonical_cell_dict",
+    "ResultStore",
+    "StoreRecord",
+    "STORE_SCHEMA_VERSION",
+    "CachedSweepRunner",
+    "CacheStats",
+    "run_sweep_cached",
+    "ArtifactRegistry",
+    "build_provenance",
+    "git_sha",
+]

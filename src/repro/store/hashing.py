@@ -1,0 +1,74 @@
+"""Canonical, stable content hashes for experiment cells.
+
+The cache key of an :class:`~repro.experiments.config.ExperimentConfig` must
+identify the *distribution* the cell samples from, not the way it was labelled
+or executed.  Two configs therefore hash identically when they agree on
+workload, rule, adversary, parameters, run count, horizon and seed — and may
+differ in:
+
+``name``
+    A display label; renaming a cell must not invalidate its cache entry.
+``engine``
+    ``"vectorized"``, ``"occupancy"`` and ``"occupancy-fused"`` are equal in
+    distribution (pinned by ``tests/test_engine_differential.py`` and
+    ``tests/test_batch_fused_occupancy.py``), so the engine is *provenance*
+    of a stored result, never key material.  A sweep retargeted with
+    ``SweepConfig.with_engine`` keeps hitting the entries its previous engine
+    wrote.
+inactive adversaries
+    A zero-budget adversary never acts (``run_cell`` only instantiates the
+    strategy when ``adversary_budget > 0``), so ``adversary="balancing",
+    adversary_budget=0`` is normalized to the null adversary before hashing.
+
+Dictionary key order never matters: the canonical form is serialized with
+sorted keys, and non-finite floats use the explicit encoding convention from
+:mod:`repro.io.serialization` so the canonical payload is strict JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+from repro.experiments.config import ExperimentConfig
+from repro.io.serialization import to_jsonable
+
+__all__ = ["canonical_cell_dict", "canonical_cell_json", "cell_key", "short_key"]
+
+#: Config fields that are provenance, not key material (see module docstring).
+NON_KEY_FIELDS = ("name", "engine")
+
+#: Length of the hex digest used for payload filenames and lookups.  64 hex
+#: chars of SHA-256; collisions are not a practical concern at any sweep size.
+KEY_LENGTH = 64
+
+
+def canonical_cell_dict(config: ExperimentConfig) -> Dict[str, Any]:
+    """The engine- and label-independent dict a cell is hashed from."""
+    data = to_jsonable(config.to_dict())
+    for field in NON_KEY_FIELDS:
+        data.pop(field, None)
+    if not data.get("adversary_budget"):
+        # a zero-budget adversary never acts: normalize to the null strategy
+        data["adversary"] = "null"
+        data["adversary_budget"] = 0
+        data["adversary_params"] = {}
+    return data
+
+
+def canonical_cell_json(config: ExperimentConfig) -> str:
+    """Canonical JSON serialization (sorted keys, minimal separators)."""
+    return json.dumps(canonical_cell_dict(config), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+
+
+def cell_key(config: ExperimentConfig) -> str:
+    """The content-addressed store key of one experiment cell (SHA-256 hex)."""
+    payload = canonical_cell_json(config)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:KEY_LENGTH]
+
+
+def short_key(key: str, length: int = 12) -> str:
+    """A display-friendly prefix of a cell key (``repro-consensus store ls``)."""
+    return key[:length]

@@ -1,0 +1,186 @@
+"""Cache-aware, resumable sweep execution on top of a :class:`ResultStore`.
+
+:class:`CachedSweepRunner` wraps :func:`repro.experiments.runner.run_sweep`
+semantics with a hit/miss partition:
+
+1. every cell of the sweep is hashed (:func:`repro.store.hashing.cell_key` —
+   engine- and label-independent);
+2. cells whose key already has a valid store record are *hits* and are not
+   executed;
+3. the remaining *misses* run through the existing execution paths — serial
+   :func:`~repro.experiments.runner.run_cell` by default, or the process-pool
+   :class:`~repro.engine.parallel.WorkItem` path for ``max_workers > 1`` —
+   and each finished cell is persisted the moment it completes (the pooled
+   path consumes results in completion order via
+   :func:`~repro.engine.parallel.iter_work_item_results`), so a sweep killed
+   halfway resumes from the already-completed cells instead of restarting;
+4. the final :class:`~repro.experiments.results.ExperimentReport` is
+   assembled in sweep order from cached + fresh results.
+
+Cache-assembled cells reuse the *requesting* sweep's config, so re-running an
+identical sweep yields a report equal (``==``) to the cold run's; the config
+the record was originally written under stays available in the store record's
+provenance.  Volatile execution facts (hit/miss counts, elapsed times) are
+deliberately kept out of ``report.meta`` for the same reason — read them from
+:attr:`CachedSweepRunner.last_stats`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.parallel import iter_work_item_results
+from repro.experiments.config import ExperimentConfig, SweepConfig
+from repro.experiments.results import CellResult, ExperimentReport
+from repro.experiments.runner import (
+    cell_result_from_pool_summary,
+    run_cell,
+    work_item_for_cell,
+)
+from repro.store.artifacts import build_provenance
+from repro.store.store import ResultStore, StoreRecord
+
+__all__ = ["CacheStats", "CachedSweepRunner", "run_sweep_cached"]
+
+#: Sentinel distinguishing "argument omitted" from an explicit ``None``
+#: (which, per the run_sweep convention, requests the default-size pool).
+_UNSET: object = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one cached sweep execution."""
+
+    hits: int = 0
+    misses: int = 0
+    executed: List[str] = field(default_factory=list)   # keys actually run
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    def summary(self) -> str:
+        return f"hits={self.hits} misses={self.misses}"
+
+
+class CachedSweepRunner:
+    """Execute sweeps through a :class:`ResultStore`, skipping cached cells.
+
+    Parameters
+    ----------
+    store:
+        The backing result store (created on first write if the directory is
+        empty).
+    rerun:
+        ``True`` forces every cell to execute even on a hit, overwriting the
+        stored records — the ``--rerun`` escape hatch for invalidating
+        results after a semantics-changing code edit.
+    max_workers:
+        Default worker count for :meth:`run` (same convention as
+        :func:`~repro.experiments.runner.run_sweep`: ``0``/``1`` serial,
+        ``None``/>1 a process pool over the missing cells).
+    """
+
+    def __init__(self, store: ResultStore, rerun: bool = False,
+                 max_workers: Optional[int] = 0) -> None:
+        self.store = store
+        self.rerun = rerun
+        self.max_workers = max_workers
+        self.last_stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    def partition(self, sweep: SweepConfig
+                  ) -> Tuple[Dict[int, StoreRecord], List[int]]:
+        """Split sweep cells (by position) into cache hits and misses.
+
+        Returns ``(hits, misses)`` where ``hits`` maps cell index → loaded
+        :class:`StoreRecord` and ``misses`` lists the indices to execute.
+        Duplicate cells (same key appearing twice in one sweep) are all
+        treated as misses on a cold store; the last execution wins the slot.
+        """
+        hits: Dict[int, StoreRecord] = {}
+        misses: List[int] = []
+        for i, cell in enumerate(sweep):
+            record = None if self.rerun else self.store.get(cell)
+            if record is None:
+                misses.append(i)
+            else:
+                hits[i] = record
+        return hits, misses
+
+    # ------------------------------------------------------------------ #
+    def run(self, sweep: SweepConfig,
+            max_workers: object = _UNSET) -> ExperimentReport:
+        """Execute a sweep, serving cached cells from the store.
+
+        ``max_workers`` follows the :func:`~repro.experiments.runner.run_sweep`
+        convention (``0``/``1`` serial, ``None`` default-size pool, >1 pool of
+        that size); when omitted, the runner's constructor default applies.
+        """
+        if max_workers is _UNSET:
+            max_workers = self.max_workers
+        hits, misses = self.partition(sweep)
+        self.last_stats = CacheStats(hits=len(hits), misses=len(misses))
+
+        fresh: Dict[int, CellResult] = {}
+        if misses and max_workers in (0, 1):
+            for i in misses:
+                cell = sweep.cells[i]
+                t0 = time.perf_counter()
+                result = run_cell(cell)
+                elapsed = time.perf_counter() - t0
+                key = self._persist(cell, result, elapsed)
+                self.last_stats.executed.append(key)
+                fresh[i] = result
+        elif misses:
+            # completion-order consumption: each cell is persisted as soon as
+            # its worker finishes, preserving interrupt-resume under a pool
+            items = [work_item_for_cell(sweep.cells[i]) for i in misses]
+            for idx, summary in iter_work_item_results(items,
+                                                       max_workers=max_workers):
+                i = misses[idx]
+                cell = sweep.cells[i]
+                result = cell_result_from_pool_summary(cell, summary)
+                key = self._persist(cell, result, elapsed=None)
+                self.last_stats.executed.append(key)
+                fresh[i] = result
+
+        report = ExperimentReport(name=sweep.name, description=sweep.description)
+        keys: Dict[str, str] = {}
+        for i, cell in enumerate(sweep):
+            if i in fresh:
+                result = fresh[i]
+            else:
+                # serve the cached metrics under the requesting cell's config
+                result = replace(hits[i].result, config=cell)
+            report.add(result)
+            keys[cell.name] = self.store.key_for(cell)
+        report.meta["store"] = {"keys": keys, "schema": 1}
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _persist(self, cell: ExperimentConfig, result: CellResult,
+                 elapsed: Optional[float]) -> str:
+        provenance = build_provenance(extra={
+            "seed": cell.seed,
+            "engine": result.extra.get("engine", cell.engine),
+            "elapsed_s": None if elapsed is None else round(elapsed, 6),
+        })
+        provenance.pop("cell_keys", None)   # a cell is not derived from cells
+        return self.store.put(cell, result, provenance)
+
+
+def run_sweep_cached(sweep: SweepConfig, store: ResultStore | str,
+                     rerun: bool = False,
+                     max_workers: Optional[int] = 0) -> ExperimentReport:
+    """One-shot convenience wrapper around :class:`CachedSweepRunner`.
+
+    ``max_workers`` uses the :func:`~repro.experiments.runner.run_sweep`
+    convention, including ``None`` for a default-size process pool.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    return CachedSweepRunner(store, rerun=rerun).run(sweep,
+                                                     max_workers=max_workers)

@@ -1,0 +1,299 @@
+"""Directory-backed, content-addressed store of executed experiment cells.
+
+Layout
+------
+::
+
+    <store_dir>/
+        index.json            # key -> display metadata (rebuildable cache)
+        cells/<key>.json      # one schema-versioned record per executed cell
+        quarantine/           # corrupted payloads, moved aside by get()/gc()
+        artifacts.json        # provenance ledger (see repro.store.artifacts)
+
+Each payload record carries::
+
+    {
+      "schema": 1,
+      "key": "<sha256 of the canonical cell dict>",
+      "config": {...},        # the config as submitted (incl. name/engine)
+      "result": {...},        # CellResult.to_dict()
+      "provenance": {seed, engine (resolved), elapsed_s, package_version,
+                     git_sha, created_at}
+    }
+
+The payload files are the source of truth: ``contains``/``get`` go straight
+to ``cells/<key>.json`` and ``index.json`` is a regenerable convenience for
+``repro-consensus store ls``.  All writes are atomic (temp file +
+``os.replace``), so a sweep killed mid-write never leaves a half-record — at
+worst the interrupted cell is re-executed on resume.  A payload that fails to
+parse (or lacks its required fields) is *quarantined*: moved into
+``quarantine/`` and treated as a cache miss, never deleted silently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import CellResult
+from repro.io.serialization import from_jsonable, to_jsonable
+from repro.store.hashing import cell_key, short_key
+
+__all__ = ["STORE_SCHEMA_VERSION", "StoreRecord", "ResultStore"]
+
+#: Version of the on-disk payload record format.  Bump on incompatible
+#: changes; ``get`` treats records with a different version as misses and
+#: ``gc(drop_schema_mismatch=True)`` clears them out.
+STORE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class StoreRecord:
+    """One stored cell: its key, config, result and execution provenance."""
+
+    key: str
+    config: Dict[str, Any]
+    result: CellResult
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    schema: int = STORE_SCHEMA_VERSION
+
+
+def _atomic_write_json(path: Path, payload: Any) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(to_jsonable(payload), indent=2, allow_nan=False))
+    os.replace(tmp, path)
+
+
+class ResultStore:
+    """Content-addressed persistence of :class:`CellResult` records."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.cells_dir = self.root / "cells"
+        self.quarantine_dir = self.root / "quarantine"
+        self.index_path = self.root / "index.json"
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # key plumbing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key_for(config: ExperimentConfig) -> str:
+        """The store key of a cell (see :mod:`repro.store.hashing`)."""
+        return cell_key(config)
+
+    def _payload_path(self, key: str) -> Path:
+        return self.cells_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    # core operations
+    # ------------------------------------------------------------------ #
+    def contains(self, config_or_key: ExperimentConfig | str) -> bool:
+        """Whether a *loadable* record exists for the given cell/key.
+
+        Equivalent to ``get(...) is not None`` (including the quarantining of
+        corrupted payloads), so skip-if-exists orchestration built on
+        ``contains`` never skips a cell it cannot actually read back.
+        """
+        return self.get(config_or_key) is not None
+
+    def put(self, config: ExperimentConfig, result: CellResult,
+            provenance: Optional[Dict[str, Any]] = None) -> str:
+        """Persist one executed cell; returns its key.
+
+        An existing record under the same key is overwritten (the content
+        hash guarantees it described the same cell).
+        """
+        key = self.key_for(config)
+        record = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": key,
+            "config": config.to_dict(),
+            "result": result.to_dict(),
+            "provenance": dict(provenance or {}),
+        }
+        # the payload is the source of truth; the display index is refreshed
+        # lazily by ls_rows()/gc(), keeping this per-cell hot path O(1)
+        _atomic_write_json(self._payload_path(key), record)
+        return key
+
+    def get(self, config_or_key: ExperimentConfig | str) -> Optional[StoreRecord]:
+        """Load a record, or ``None`` on miss / schema mismatch / corruption.
+
+        A payload that cannot be parsed into a valid record is moved to
+        ``quarantine/`` (preserved for inspection) and reported as a miss.
+        """
+        key = (config_or_key if isinstance(config_or_key, str)
+               else self.key_for(config_or_key))
+        path = self._payload_path(key)
+        if not path.exists():
+            return None
+        try:
+            raw = from_jsonable(json.loads(path.read_text()))
+            if not self._schema_compatible(raw):
+                return None   # written by another version: a miss, not damage
+            return StoreRecord(
+                key=raw["key"],
+                config=dict(raw["config"]),
+                result=CellResult.from_dict(raw["result"]),
+                provenance=dict(raw.get("provenance", {})),
+                schema=int(raw["schema"]),
+            )
+        except (json.JSONDecodeError, AttributeError, KeyError, TypeError,
+                ValueError):
+            self._quarantine(path)
+            return None
+
+    @staticmethod
+    def _schema_compatible(raw: Any) -> bool:
+        """Whether a parsed payload was written under schemas we can read.
+
+        Covers both the record envelope (:data:`STORE_SCHEMA_VERSION`) and
+        the embedded result dict (:data:`RESULT_SCHEMA_VERSION`): a record
+        from a newer package version is intact data, so it must be treated
+        as a plain miss — never quarantined as corruption.
+        """
+        from repro.experiments.results import RESULT_SCHEMA_VERSION
+
+        if raw.get("schema") != STORE_SCHEMA_VERSION:
+            return False
+        result = raw.get("result")
+        if not isinstance(result, dict):
+            raise ValueError("payload has no result dict")
+        return int(result.get("schema", 1)) <= RESULT_SCHEMA_VERSION
+
+    def keys(self) -> List[str]:
+        """Keys of every payload currently on disk (valid or not)."""
+        return sorted(p.stem for p in self.cells_dir.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    # ------------------------------------------------------------------ #
+    # quarantine & garbage collection
+    # ------------------------------------------------------------------ #
+    def _quarantine(self, path: Path) -> Path:
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        dest = self.quarantine_dir / path.name
+        counter = 0
+        while dest.exists():
+            counter += 1
+            dest = self.quarantine_dir / f"{path.name}.{counter}"
+        os.replace(path, dest)
+        return dest
+
+    def gc(self, drop_schema_mismatch: bool = False,
+           drop_quarantine: bool = False) -> Dict[str, int]:
+        """Validate every payload and rebuild the index.
+
+        Corrupted payloads are quarantined; ``drop_schema_mismatch`` deletes
+        records written under a different :data:`STORE_SCHEMA_VERSION`;
+        ``drop_quarantine`` empties the quarantine directory.  Returns counts
+        of what was kept / quarantined / dropped.
+        """
+        kept = quarantined = dropped = 0
+        for path in sorted(self.cells_dir.glob("*.json")):
+            try:
+                raw = from_jsonable(json.loads(path.read_text()))
+                if not self._schema_compatible(raw):
+                    # intact record from another version: stale, not corrupt
+                    if drop_schema_mismatch:
+                        path.unlink()
+                        dropped += 1
+                    continue
+                CellResult.from_dict(raw["result"])   # validates the payload
+                kept += 1
+            except (json.JSONDecodeError, AttributeError, KeyError, TypeError,
+                    ValueError):
+                self._quarantine(path)
+                quarantined += 1
+        if drop_quarantine and self.quarantine_dir.exists():
+            for path in self.quarantine_dir.iterdir():
+                path.unlink()
+                dropped += 1
+        self.rebuild_index()
+        return {"kept": kept, "quarantined": quarantined, "dropped": dropped}
+
+    # ------------------------------------------------------------------ #
+    # index (display metadata; rebuildable from the payloads)
+    # ------------------------------------------------------------------ #
+    def _load_index(self) -> Dict[str, Any]:
+        if not self.index_path.exists():
+            return {"schema": STORE_SCHEMA_VERSION, "entries": {}}
+        try:
+            index = json.loads(self.index_path.read_text())
+            if not isinstance(index.get("entries"), dict):
+                raise ValueError("malformed index")
+            return index
+        except (json.JSONDecodeError, ValueError):
+            return self.rebuild_index()
+
+    @staticmethod
+    def _index_entry(config: Dict[str, Any],
+                     provenance: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "name": config.get("name", ""),
+            "workload": config.get("workload", ""),
+            "n": int(config.get("workload_params", {}).get("n", 0)),
+            "rule": config.get("rule", ""),
+            "adversary": config.get("adversary", ""),
+            "T": config.get("adversary_budget", 0),
+            "runs": config.get("num_runs", 0),
+            "engine": provenance.get("engine", config.get("engine", "")),
+            "created_at": provenance.get("created_at", ""),
+        }
+
+    def rebuild_index(self) -> Dict[str, Any]:
+        """Regenerate ``index.json`` by scanning the payload directory."""
+        entries: Dict[str, Any] = {}
+        for path in sorted(self.cells_dir.glob("*.json")):
+            try:
+                raw = from_jsonable(json.loads(path.read_text()))
+                entries[path.stem] = self._index_entry(
+                    dict(raw.get("config", {})), dict(raw.get("provenance", {})))
+            except (json.JSONDecodeError, AttributeError, TypeError, ValueError):
+                continue   # gc() handles quarantining; the index just skips it
+        index = {"schema": STORE_SCHEMA_VERSION, "entries": entries}
+        _atomic_write_json(self.index_path, index)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def ls_rows(self) -> List[Dict[str, Any]]:
+        """Index entries as display rows for ``repro-consensus store ls``.
+
+        The index is refreshed here when it lags the payload directory
+        (``put`` deliberately does not touch it — see :meth:`put`).
+        """
+        index = self._load_index()
+        on_disk = set(self.keys())
+        if not on_disk <= set(index["entries"]):
+            index = self.rebuild_index()
+        rows = []
+        for key, entry in sorted(index["entries"].items()):
+            if key not in on_disk:
+                continue
+            rows.append({"key": short_key(key), **entry})
+        return rows
+
+    def info(self) -> Dict[str, Any]:
+        """Aggregate store facts for ``repro-consensus store info``."""
+        keys = self.keys()
+        size = sum(p.stat().st_size for p in self.cells_dir.glob("*.json"))
+        n_quarantined = (len(list(self.quarantine_dir.iterdir()))
+                         if self.quarantine_dir.exists() else 0)
+        return {
+            "root": str(self.root),
+            "schema": STORE_SCHEMA_VERSION,
+            "entries": len(keys),
+            "payload_bytes": size,
+            "quarantined": n_quarantined,
+        }

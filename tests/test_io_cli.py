@@ -12,12 +12,14 @@ from repro.core.state import Configuration
 from repro.engine.trajectory import RecordLevel
 from repro.engine.vectorized import simulate
 from repro.io.serialization import (
+    from_jsonable,
     load_result_summary,
     load_rounds_npz,
     load_trajectory_npz,
     save_result_summary,
     save_rounds_npz,
     save_trajectory_npz,
+    to_jsonable,
 )
 from repro.io.tables import render_kv, render_table
 
@@ -56,6 +58,43 @@ class TestSerialization:
         res = simulate(Configuration.all_distinct(16), seed=3)
         path = save_result_summary(res, tmp_path / "x.json")
         json.loads(path.read_text())   # should not raise
+
+
+class TestNonFiniteJson:
+    """The explicit NaN/inf encoding convention of repro.io.serialization."""
+
+    def test_roundtrip(self):
+        value = {"a": float("nan"), "b": [1.5, float("inf"), float("-inf")],
+                 "c": {"nested": np.float64("nan")}, "d": "text", "e": 3}
+        encoded = to_jsonable(value)
+        # strict JSON: no NaN/Infinity literals anywhere in the payload
+        text = json.dumps(encoded, allow_nan=False)
+        decoded = from_jsonable(json.loads(text))
+        assert np.isnan(decoded["a"]) and np.isnan(decoded["c"]["nested"])
+        assert decoded["b"] == [1.5, float("inf"), float("-inf")]
+        assert decoded["d"] == "text" and decoded["e"] == 3
+
+    def test_encoding_shape(self):
+        assert to_jsonable(float("nan")) == {"__float__": "nan"}
+        assert to_jsonable(float("inf")) == {"__float__": "inf"}
+        assert to_jsonable(float("-inf")) == {"__float__": "-inf"}
+        assert to_jsonable(1.25) == 1.25
+
+    def test_nonfinite_array_roundtrips(self):
+        arr = np.array([1.0, np.nan, np.inf])
+        decoded = from_jsonable(json.loads(
+            json.dumps(to_jsonable(arr), allow_nan=False)))
+        assert decoded[0] == 1.0 and np.isnan(decoded[1]) and np.isinf(decoded[2])
+
+    def test_nonconverged_summary_is_strict_json(self, tmp_path):
+        # a run that cannot converge within the horizon has NaN metrics
+        res = simulate(Configuration.all_distinct(64), seed=4, max_rounds=1)
+        path = save_result_summary(res, tmp_path / "nf.json")
+        # strict parse: reject any NaN/Infinity literal the encoder missed
+        json.loads(path.read_text(),
+                   parse_constant=lambda name: pytest.fail(name))
+        loaded = load_result_summary(path)
+        assert loaded["consensus_reached"] is False
 
 
 class TestTables:
