@@ -10,19 +10,45 @@ enforced, not just displayed.
 
 Also benchmarked: a full n = 10⁸ run to consensus, an adversarial n = 10⁷
 run, and (for scale contrast) the vectorized engine's O(n) round at n = 10⁵.
+
+Rule × adversary baseline artifact (ISSUE 4)
+--------------------------------------------
+Run as a script, this module times the widened kernel matrix — the median
+and majority families crossed with the count-space adversaries, including
+the victim-occupancy forms of sticky/hiding — through the fused occupancy
+engine at n = 10⁶, checks each rule's exact expected drift
+(:func:`repro.analysis.drift.occupancy_expected_counts`) against a Monte
+Carlo estimate within CLT bounds, and writes ``BENCH_occupancy_rules.json``
+at the repo root (full mode registers it in the ``ARTIFACTS.json`` ledger
+with per-cell store keys + git provenance):
+
+``python benchmarks/bench_engine_occupancy.py``            full grid
+``python benchmarks/bench_engine_occupancy.py --reduced``  one
+    three-majority + sticky cell for CI smoke; asserts full convergence and
+    a clean budget ledger, writes ``BENCH_occupancy_rules.reduced.json``.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import platform
+import sys
 import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 import pytest
 
-from repro.adversary.strategies import BalancingAdversary
+from repro.adversary.strategies import BalancingAdversary, make_adversary
+from repro.analysis.drift import measure_empirical_occupancy_drift
 from repro.core.median_rule import MedianRule
 from repro.core.occupancy_state import OccupancyState
+from repro.core.rules import get_rule
+from repro.engine.batch import run_batch_fused_occupancy
 from repro.engine.occupancy import occupancy_round, simulate_occupancy
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.workloads import make_occupancy_workload
 
 M_FIXED = 64
@@ -112,3 +138,187 @@ def test_round_cost_flat_in_n():
         f"occupancy round not flat in n: {t_small * 1e6:.0f}µs at n=1e4 vs "
         f"{t_huge * 1e6:.0f}µs at n=1e8"
     )
+
+
+# ---------------------------------------------------------------------- #
+# rule × adversary baseline artifact (BENCH_occupancy_rules.json)
+# ---------------------------------------------------------------------- #
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RULES_ARTIFACT = REPO_ROOT / "BENCH_occupancy_rules.json"
+REGISTRY = REPO_ROOT / "ARTIFACTS.json"
+RULES_BASE_SEED = 4321
+
+#: (rule, adversary) grid of the full baseline; every pair runs on the fused
+#: occupancy engine (the point of ISSUE 4: none of these fall back anymore).
+RULES_FULL_GRID: List[Tuple[str, str]] = [
+    (rule, adv)
+    for rule in ("median", "three-majority", "two-choices-majority")
+    for adv in ("null", "sticky", "hiding")
+]
+
+RULES_REDUCED_GRID: List[Tuple[str, str]] = [("three-majority", "sticky")]
+
+#: geometry of every timed cell: n is irrelevant to the occupancy engines'
+#: cost (that is the point), m/R sized so the full grid runs in seconds
+RULES_N, RULES_M, RULES_R = 10 ** 6, 16, 128
+
+
+def _rules_adversary_factory(adversary: str, budget: int):
+    if adversary == "null" or budget == 0:
+        return None
+    return lambda: make_adversary(adversary, budget=budget)
+
+
+def rules_cell_config(rule: str, adversary: str, budget: int) -> ExperimentConfig:
+    """The experiment-cell description of one timed (rule, adversary) point."""
+    return ExperimentConfig(
+        name=f"rules:rule={rule},adv={adversary}",
+        workload="blocks",
+        workload_params={"n": RULES_N, "m": RULES_M},
+        rule=rule,
+        adversary=adversary if budget > 0 else "null",
+        adversary_budget=budget,
+        num_runs=RULES_R,
+        seed=RULES_BASE_SEED,
+        engine="occupancy-fused",
+    )
+
+
+def _rules_drift_max_z(rule: str) -> float:
+    """Exact one-round expected drift vs Monte Carlo, CLT-bounded (z <= 6).
+
+    Depends only on the rule (fixed initial counts and seed), so
+    :func:`run_rules_grid` computes it once per rule, not once per cell.
+    """
+    init = make_occupancy_workload("blocks", n=RULES_N, m=RULES_M)
+    drift = measure_empirical_occupancy_drift(
+        get_rule(rule), np.asarray(init.counts), samples=2000,
+        rng=np.random.default_rng(RULES_BASE_SEED + 7))
+    z = np.abs(drift["mean"] - drift["predicted"]) / np.maximum(
+        drift["standard_error"], 1e-9)
+    max_z = float(z.max())
+    assert max_z <= 6.0, (
+        f"{rule}: exact drift vs Monte Carlo beyond CLT bounds (max z={max_z:.2f})"
+    )
+    return max_z
+
+
+def bench_rules_cell(rule: str, adversary: str,
+                     drift_max_z: Optional[float] = None) -> Dict[str, object]:
+    """Time one rule × adversary cell through the fused occupancy engine and
+    cross-check the rule's exact expected drift against Monte Carlo."""
+    budget = 0 if adversary == "null" else int(np.sqrt(RULES_N) // 4)
+    init = make_occupancy_workload("blocks", n=RULES_N, m=RULES_M)
+    t0 = time.perf_counter()
+    batch = run_batch_fused_occupancy(
+        init, RULES_R, rule=get_rule(rule),
+        adversary_factory=_rules_adversary_factory(adversary, budget),
+        seed=RULES_BASE_SEED, max_rounds=1200)
+    secs = time.perf_counter() - t0
+    assert batch.meta["budget_ledger_ok"] is True
+
+    max_z = drift_max_z if drift_max_z is not None else _rules_drift_max_z(rule)
+
+    return {
+        "rule": rule,
+        "adversary": adversary,
+        "adversary_budget": budget,
+        "n": RULES_N,
+        "m": RULES_M,
+        "R": RULES_R,
+        "engine": "occupancy-fused",
+        "time_s": round(secs, 4),
+        "mean_rounds": round(float(batch.mean_rounds), 2),
+        "convergence_fraction": float(batch.convergence_fraction),
+        "drift_max_z": round(max_z, 3),
+    }
+
+
+def run_rules_grid(grid: List[Tuple[str, str]], mode: str) -> Dict[str, object]:
+    cells = []
+    drift_by_rule: Dict[str, float] = {}
+    for rule, adversary in grid:
+        if rule not in drift_by_rule:
+            drift_by_rule[rule] = _rules_drift_max_z(rule)
+        cell = bench_rules_cell(rule, adversary, drift_max_z=drift_by_rule[rule])
+        cells.append(cell)
+        print(f"rule={rule:>22} adv={adversary:>7}: {cell['time_s']:.3f}s "
+              f"mean_rounds={cell['mean_rounds']} "
+              f"converged={cell['convergence_fraction']:.2f} "
+              f"drift_z={cell['drift_max_z']}")
+    return {
+        "bench": "occupancy_rules",
+        "schema": 1,
+        "mode": mode,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "geometry": {"n": RULES_N, "m": RULES_M, "R": RULES_R},
+        "cells": cells,
+    }
+
+
+def stamp_rules_report(report: Dict[str, object]) -> Dict[str, object]:
+    """Attach content-addressed store keys + git provenance (in place)."""
+    from repro.store.artifacts import build_provenance
+    from repro.store.hashing import cell_key
+
+    keys = {}
+    for cell in report["cells"]:
+        cfg = rules_cell_config(cell["rule"], cell["adversary"],
+                                cell["adversary_budget"])
+        key = cell_key(cfg)
+        cell["cell_key"] = key
+        keys[cfg.name] = key
+    report["provenance"] = build_provenance(
+        keys, extra={"base_seed": RULES_BASE_SEED})
+    return report
+
+
+def write_rules_artifact(report: Dict[str, object],
+                         path: Path = RULES_ARTIFACT) -> None:
+    from repro.store.artifacts import ArtifactRegistry
+
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    if report.get("mode") == "full":
+        # only the committed full-grid baseline enters the committed ledger
+        ArtifactRegistry(REGISTRY).register(
+            path, kind="benchmark",
+            cell_keys=report.get("provenance", {}).get("cell_keys", {}),
+            extra={"bench": report.get("bench"), "mode": report.get("mode")})
+        print(f"wrote {path} (registered in {REGISTRY.name})")
+    else:
+        print(f"wrote {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="rule × adversary occupancy baseline artifact")
+    parser.add_argument("--reduced", action="store_true",
+                        help="single three-majority + sticky cell through the "
+                             "fused engine for CI smoke")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="artifact path (default: repo-root "
+                             "BENCH_occupancy_rules.json; reduced mode writes "
+                             "BENCH_occupancy_rules.reduced.json so the "
+                             "committed baseline is never clobbered)")
+    args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = (RULES_ARTIFACT.with_suffix(".reduced.json") if args.reduced
+                    else RULES_ARTIFACT)
+    if args.reduced:
+        report = run_rules_grid(RULES_REDUCED_GRID, mode="reduced")
+        cell = report["cells"][0]
+        assert cell["convergence_fraction"] == 1.0, (
+            "reduced-mode smoke: three-majority + sticky via the fused "
+            f"engine converged only {cell['convergence_fraction']:.2f}"
+        )
+        print("reduced-mode smoke ok: three-majority + sticky fused cell "
+              f"converged in {cell['mean_rounds']} mean rounds")
+    else:
+        report = run_rules_grid(RULES_FULL_GRID, mode="full")
+    write_rules_artifact(stamp_rules_report(report), args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

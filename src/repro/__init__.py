@@ -43,6 +43,7 @@ from repro.core import (
     MinimumRule,
     Rule,
     TwoChoicesMajorityRule,
+    TwoChoicesRule,
     VoterRule,
     available_rules,
     get_rule,
@@ -74,6 +75,7 @@ __all__ = [
     "VoterRule",
     "MeanRule",
     "TwoChoicesMajorityRule",
+    "TwoChoicesRule",
     "get_rule",
     "available_rules",
     "is_consensus",

@@ -212,11 +212,40 @@ class Adversary(abc.ABC):
         its occupancy vector override this (balancing, reviving, switching,
         random, targeted-median); the override must be *distributionally
         equivalent* to :meth:`propose` applied to any expansion of the counts.
-        Identity-tracking strategies (sticky, hiding) cannot be expressed in
-        count space and keep the default, which returns ``None`` so the
-        occupancy engine can fail fast with a clear error.
+        Identity-tracking strategies (sticky, hiding) override it too, by
+        tracking the *occupancy* of their victim set instead of victim
+        identities (see :meth:`victim_counts` /
+        :meth:`observe_victim_scatter` — the engines scatter the victim
+        subpopulation separately, which keeps the tracking exact).  Custom
+        identity-tracking adversaries without such a form keep the default,
+        which returns ``None`` so the occupancy engine can fail fast with a
+        clear error.
         """
         return None
+
+    # ------------------------------------------------------------------ #
+    # victim-occupancy tracking (identity-tracking strategies in count space)
+    # ------------------------------------------------------------------ #
+    def victim_counts(self, support: np.ndarray) -> Optional[np.ndarray]:
+        """Current occupancy of this adversary's victim set over ``support``.
+
+        ``None`` (the default) means the adversary does not track a victim
+        subpopulation and the engines run their plain fused scatter.  An
+        adversary returning an array here asks the occupancy engines to
+        scatter its victims *separately* each round
+        (:func:`repro.engine.occupancy.occupancy_round_split`) and to report
+        the victims' post-round occupancy back through
+        :meth:`observe_victim_scatter` — conditionally on the pre-round
+        occupancy all per-process updates are independent, so the two-part
+        scatter is distributionally identical to the combined one and the
+        victim occupancy stays exactly the law of the vectorized engine's
+        victim values.
+        """
+        return None
+
+    def observe_victim_scatter(self, support: np.ndarray,
+                               victim_counts: np.ndarray) -> None:
+        """Receive the victims' occupancy after a round's scatter (no-op here)."""
 
     @property
     def supports_counts(self) -> bool:

@@ -27,11 +27,16 @@ paper:
 
 All strategies only *propose*; :class:`~repro.adversary.base.Adversary`
 enforces the budget and the initial-value-set constraint.
+
+Every strategy also carries a count-space form (``propose_counts``) able to
+drive the occupancy engines; the identity-tracking pair (sticky, hiding)
+does so exactly by tracking its victims' *occupancy* instead of their
+identities (:class:`_VictimOccupancyMixin`).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -50,6 +55,12 @@ __all__ = [
 ]
 
 
+#: numpy's ``multivariate_hypergeometric`` (and the scalar draw) refuse
+#: populations of 10⁹ and beyond; above this total the victims are drawn
+#: sequentially instead.
+_MVH_POPULATION_LIMIT = 1_000_000_000
+
+
 def _victims_per_bin(counts: np.ndarray, size: int,
                      rng: np.random.Generator) -> np.ndarray:
     """How many of ``size`` uniformly-drawn distinct victims fall in each bin.
@@ -57,13 +68,29 @@ def _victims_per_bin(counts: np.ndarray, size: int,
     Drawing T victim processes uniformly without replacement and grouping
     them by current value is exactly a multivariate hypergeometric draw over
     the bin loads — the count-space twin of ``rng.choice(n, T, replace=False)``.
+
+    numpy's sampler refuses populations ≥ 10⁹ (exactly the regime the
+    occupancy engine exists for), so beyond that the victims are drawn one
+    at a time — each uniform over the remaining population, which is the
+    same law — at O(size·m) cost; ``size ≤ T`` is tiny next to n there.
     """
     counts = np.asarray(counts, dtype=np.int64)
     total = int(counts.sum())
     size = min(int(size), total)
     if size <= 0:
         return np.zeros(counts.shape[0], dtype=np.int64)
-    return rng.multivariate_hypergeometric(counts, size).astype(np.int64)
+    if total < _MVH_POPULATION_LIMIT:
+        return rng.multivariate_hypergeometric(counts, size).astype(np.int64)
+    out = np.zeros(counts.shape[0], dtype=np.int64)
+    remaining = counts.copy()
+    left = total
+    for _ in range(size):
+        u = int(rng.integers(0, left))
+        i = int(np.searchsorted(np.cumsum(remaining), u, side="right"))
+        out[i] += 1
+        remaining[i] -= 1
+        left -= 1
+    return out
 
 
 class BalancingAdversary(Adversary):
@@ -199,7 +226,75 @@ class RevivingAdversary(Adversary):
                                amounts=amounts)
 
 
-class HidingAdversary(Adversary):
+class _VictimOccupancyMixin:
+    """Count-space form of the identity-tracking strategies (sticky, hiding).
+
+    A fixed victim set re-pinned to one value every round depends on process
+    identities only through the victims' current *occupancy*: the initial
+    uniform victim choice is a multivariate-hypergeometric split of the bin
+    loads, each corruption is the deterministic count edit "move every victim
+    to the pinned value", and between corruptions the victims' occupancy
+    evolves by the same per-class scatter as everyone else's.  The occupancy
+    engines realize that last step exactly by scattering the victim
+    subpopulation separately (:func:`repro.engine.occupancy.occupancy_round_split`)
+    and reporting the victims' new occupancy back through
+    :meth:`observe_victim_scatter` — so the count-space form is equal in law
+    to the vectorized one, not an approximation.
+
+    State is a ``{value: victim count}`` mapping (``None`` before the victims
+    are chosen); subclasses call :meth:`_propose_pinned_counts` from their
+    ``propose_counts``.
+    """
+
+    _victim_loads: Optional[Dict[int, int]] = None
+
+    def victim_counts(self, support: np.ndarray) -> Optional[np.ndarray]:
+        if self._victim_loads is None:
+            return None
+        support = np.asarray(support, dtype=np.int64)
+        out = np.zeros(support.shape[0], dtype=np.int64)
+        for value, cnt in self._victim_loads.items():
+            i = int(np.searchsorted(support, value))
+            if i < support.shape[0] and support[i] == value:
+                out[i] = cnt
+        return out
+
+    def observe_victim_scatter(self, support: np.ndarray,
+                               victim_counts: np.ndarray) -> None:
+        if self._victim_loads is None:
+            return  # victims not chosen yet (e.g. first round, AFTER_SAMPLING)
+        victim_counts = np.asarray(victim_counts, dtype=np.int64)
+        self._victim_loads = {int(v): int(c)
+                              for v, c in zip(support, victim_counts) if c > 0}
+
+    def _propose_pinned_counts(self, support: np.ndarray, counts: np.ndarray,
+                               target: int, admissible_values: np.ndarray,
+                               rng: np.random.Generator) -> CountCorruption:
+        if self._victim_loads is None:
+            # victims are chosen once, uniformly among all processes — the
+            # count-space twin of rng.choice(n, T, replace=False)
+            per_bin = _victims_per_bin(counts, self.budget, rng)
+            self._victim_loads = {int(v): int(c)
+                                  for v, c in zip(support, per_bin) if c > 0}
+        else:
+            per_bin = self.victim_counts(support)
+        if target not in admissible_values:
+            # the enforcement wrapper would drop every write (matching the
+            # vectorized path, where inadmissible values are filtered); the
+            # victims stay tracked but unpinned
+            return CountCorruption.empty()
+        total = int(per_bin.sum())
+        if total > 0:
+            self._victim_loads = {int(target): total}
+        mask = per_bin > 0
+        src = np.asarray(support, dtype=np.int64)[mask]
+        return CountCorruption(
+            src_values=src,
+            dst_values=np.full(src.shape[0], target, dtype=np.int64),
+            amounts=per_bin[mask])
+
+
+class HidingAdversary(_VictimOccupancyMixin, Adversary):
     """Maintain a hidden reservoir of processes pinned to a chosen value.
 
     The same ``T`` victim processes are re-pinned every round to
@@ -216,6 +311,7 @@ class HidingAdversary(Adversary):
     def reset(self) -> None:
         super().reset()
         self._victims = None
+        self._victim_loads = None
 
     def propose(self, values: np.ndarray, round_index: int,
                 admissible_values: np.ndarray, rng: np.random.Generator) -> Corruption:
@@ -227,6 +323,14 @@ class HidingAdversary(Adversary):
                                        replace=False)
         return Corruption(indices=self._victims,
                           values=np.full(self._victims.shape[0], target, dtype=np.int64))
+
+    def propose_counts(self, support: np.ndarray, counts: np.ndarray, round_index: int,
+                       admissible_values: np.ndarray, rng: np.random.Generator
+                       ) -> CountCorruption:
+        target = int(admissible_values.max()) if self.hidden_value is None \
+            else int(self.hidden_value)
+        return self._propose_pinned_counts(support, counts, target,
+                                           admissible_values, rng)
 
 
 class SwitchingAdversary(Adversary):
@@ -325,7 +429,7 @@ class TargetedMedianAdversary(Adversary):
                                amounts=[min(self.budget, holders)])
 
 
-class StickyAdversary(Adversary):
+class StickyAdversary(_VictimOccupancyMixin, Adversary):
     """T fixed Byzantine processes that never update and always assert one value.
 
     Victims are chosen once (uniformly at random) on the first round and then
@@ -343,6 +447,7 @@ class StickyAdversary(Adversary):
     def reset(self) -> None:
         super().reset()
         self._victims = None
+        self._victim_loads = None
 
     def propose(self, values: np.ndarray, round_index: int,
                 admissible_values: np.ndarray, rng: np.random.Generator) -> Corruption:
@@ -354,6 +459,14 @@ class StickyAdversary(Adversary):
                                        replace=False)
         return Corruption(indices=self._victims,
                           values=np.full(self._victims.shape[0], target, dtype=np.int64))
+
+    def propose_counts(self, support: np.ndarray, counts: np.ndarray, round_index: int,
+                       admissible_values: np.ndarray, rng: np.random.Generator
+                       ) -> CountCorruption:
+        target = int(admissible_values.max()) if self.pinned_value is None \
+            else int(self.pinned_value)
+        return self._propose_pinned_counts(support, counts, target,
+                                           admissible_values, rng)
 
 
 #: Registry of adversary strategies by name (for experiment configuration).

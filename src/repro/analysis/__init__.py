@@ -24,6 +24,9 @@ from repro.analysis.drift import (
     lemma12_contraction_factor,
     lemma15_growth_factor,
     measure_empirical_drift,
+    measure_empirical_occupancy_drift,
+    occupancy_expected_counts,
+    occupancy_expected_drift,
 )
 from repro.analysis.meanfield import (
     MeanFieldTrajectory,
@@ -95,6 +98,9 @@ __all__ = [
     "lemma15_growth_factor",
     "DriftObservation",
     "measure_empirical_drift",
+    "measure_empirical_occupancy_drift",
+    "occupancy_expected_counts",
+    "occupancy_expected_drift",
     # meanfield
     "cdf_map",
     "step_fractions",

@@ -16,6 +16,18 @@ All three expectations follow from the exact per-ball switch probabilities
 (:func:`repro.core.majority_rule.exact_two_bin_transition`); this module
 exposes them in the paper's notation and provides empirical-drift
 measurement helpers used by the DRIFT benchmark and the tests.
+
+Beyond the two-bin closed forms, :func:`occupancy_expected_counts` /
+:func:`occupancy_expected_drift` compute the exact one-round expected
+occupancy ``E[c' | c] = cᵀQ`` for *any* rule with an occupancy-space kernel
+(median family, voter/min/max, three-majority, two-choices-majority) at any
+support width, by reusing the O(m²) transition matrix of
+:mod:`repro.engine.occupancy`.  This is the finite-n refinement of the
+mean-field iteration (:func:`repro.analysis.meanfield.cdf_map`): dividing by
+n and taking cumulative sums recovers the mean-field CDF map as n → ∞, while
+at finite n the matrix carries the exact per-class probabilities (e.g. the
+without-replacement corrections).  The two-bin closed forms above are the
+m = 2 special case, which the tests pin against the general machinery.
 """
 
 from __future__ import annotations
@@ -26,6 +38,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.core.majority_rule import exact_two_bin_transition
+from repro.core.rules import Rule
 
 __all__ = [
     "expected_minority_next",
@@ -33,8 +46,11 @@ __all__ = [
     "lemma12_contraction_factor",
     "lemma11_quadratic_bound",
     "lemma15_growth_factor",
+    "occupancy_expected_counts",
+    "occupancy_expected_drift",
     "DriftObservation",
     "measure_empirical_drift",
+    "measure_empirical_occupancy_drift",
 ]
 
 
@@ -94,6 +110,45 @@ def lemma15_growth_factor(n: int, imbalance: float) -> float:
     return expected_imbalance_next(n, imbalance) / imbalance
 
 
+# ---------------------------------------------------------------------- #
+# exact expected drift in occupancy space (any kernel rule, any m)
+# ---------------------------------------------------------------------- #
+def occupancy_expected_counts(rule: Rule, counts: np.ndarray) -> np.ndarray:
+    """Exact ``E[c' | c]`` for one synchronous round of ``rule``.
+
+    One round scatters each value class ``a`` as ``Multinomial(c_a, Q[a])``
+    (see :func:`repro.engine.occupancy.occupancy_round`), so the expected
+    next occupancy is the linear image ``E[c'] = cᵀQ`` of the current counts
+    through the O(m²) transition matrix — exact at finite n, no mean-field
+    approximation.  Returns a float vector summing to ``n``.
+
+    This refines :func:`repro.analysis.meanfield.cdf_map`: for the median
+    rule, ``cumsum(occupancy_expected_counts(rule, c)) / n`` equals
+    ``cdf_map(cumsum(c) / n)`` exactly (the map is already written in load
+    fractions); for finite-n kernels such as the without-replacement median
+    the matrix additionally carries the O(1/n) corrections the mean-field
+    limit drops.
+    """
+    from repro.engine.occupancy import occupancy_transition_matrix
+
+    counts = np.asarray(counts, dtype=np.int64)
+    Q = occupancy_transition_matrix(rule, counts)
+    return counts.astype(np.float64) @ Q
+
+
+def occupancy_expected_drift(rule: Rule, counts: np.ndarray) -> np.ndarray:
+    """Exact one-round expected drift ``E[c' − c | c]`` per value class.
+
+    Componentwise difference of :func:`occupancy_expected_counts` and the
+    current counts; sums to zero (population conservation).  For m = 2 and
+    the median rule its first component reduces to
+    ``expected_minority_next(n, c₀) − c₀`` — the Lemma 11/12/15 drifts are
+    the two-bin special case of this vector.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    return occupancy_expected_counts(rule, counts) - counts
+
+
 @dataclass(frozen=True)
 class DriftObservation:
     """One empirical drift measurement: observed vs. predicted next state."""
@@ -142,3 +197,33 @@ def measure_empirical_drift(
         predicted_mean=expected_minority_next(n, minority),
         samples=samples,
     )
+
+
+def measure_empirical_occupancy_drift(
+    rule: Rule,
+    counts: np.ndarray,
+    samples: int,
+    rng: np.random.Generator,
+) -> Dict[str, np.ndarray]:
+    """Monte-Carlo check of :func:`occupancy_expected_counts` from a fixed state.
+
+    Draws ``samples`` independent single occupancy rounds from ``counts`` (one
+    batched ``(samples, m)`` program) and returns the empirical mean next
+    occupancy, the exact prediction, and the per-bin standard error — callers
+    assert ``|mean − predicted| ≤ k·SE`` (a CLT bound; used by the drift tests
+    and the occupancy-rules benchmark).
+    """
+    from repro.engine.occupancy import occupancy_round_batch
+
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    counts = np.asarray(counts, dtype=np.int64)
+    tiled = np.tile(counts, (samples, 1))
+    out = occupancy_round_batch(tiled, rule, rng).astype(np.float64)
+    mean = out.mean(axis=0)
+    se = out.std(axis=0, ddof=1) / np.sqrt(samples)
+    return {
+        "mean": mean,
+        "predicted": occupancy_expected_counts(rule, counts),
+        "standard_error": se,
+    }

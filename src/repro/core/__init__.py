@@ -11,6 +11,7 @@ from repro.core.baseline_rules import (
     MeanRule,
     MinimumRule,
     TwoChoicesMajorityRule,
+    TwoChoicesRule,
     VoterRule,
 )
 from repro.core.consensus import (
@@ -89,6 +90,7 @@ __all__ = [
     "VoterRule",
     "MeanRule",
     "TwoChoicesMajorityRule",
+    "TwoChoicesRule",
     "median_of_three",
     "median_of_three_scalar",
     "exact_two_bin_transition",

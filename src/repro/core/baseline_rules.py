@@ -17,6 +17,10 @@
 * :class:`TwoChoicesMajorityRule` — classic 3-majority without self (each
   process polls three random processes and adopts their majority, ties broken
   at random); included for cross-comparison with the gossip literature.
+* :class:`TwoChoicesRule` — the classic "2-Choices" dynamics (registry name
+  ``two-choices-majority``): poll two random processes and adopt their value
+  iff the two agree, otherwise keep the own value.  The second standard
+  majority-family comparison point from the gossip literature.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ __all__ = [
     "VoterRule",
     "MeanRule",
     "TwoChoicesMajorityRule",
+    "TwoChoicesRule",
 ]
 
 
@@ -193,3 +198,39 @@ class TwoChoicesMajorityRule(Rule):
         if b == c:
             return b
         return int((a, b, c)[rng.integers(0, 3)])
+
+
+@register_rule
+class TwoChoicesRule(Rule):
+    """Classic 2-Choices dynamics: adopt the sampled value iff two samples agree.
+
+    Each process polls two random processes; if both hold the same value the
+    process adopts it, otherwise it keeps its own value.  (Note the majority
+    of {sample, sample, self} *is* this rule: two agreeing samples outvote the
+    own value, a split sample leaves the own value the plurality — hence the
+    registry name ``two-choices-majority``.)  The standard "2-Choices" voting
+    dynamics from the gossip literature; like :class:`TwoChoicesMajorityRule`
+    it serves as an external majority-family comparison point for the paper's
+    median rule.
+    """
+
+    name = "two-choices-majority"
+    num_choices = 2
+    preserves_values = True
+
+    def apply_vectorized(
+        self, values: np.ndarray, samples: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        self.validate_samples(values.shape[0], samples)
+        vj = values[samples[:, 0]]
+        vk = values[samples[:, 1]]
+        return np.where(vj == vk, vj, values)
+
+    def apply_single(
+        self, own_value: int, sampled_values: Sequence[int], rng: np.random.Generator
+    ) -> int:
+        if len(sampled_values) != 2:
+            raise ValueError("two-choices-majority rule needs exactly two sampled values")
+        a, b = int(sampled_values[0]), int(sampled_values[1])
+        return a if a == b else int(own_value)

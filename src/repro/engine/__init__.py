@@ -6,19 +6,23 @@ per round and therefore in where they are fast:
 ``vectorized`` (:func:`repro.engine.vectorized.simulate`)
     One value per process, one NumPy pass per round: O(n) time and memory per
     round.  The default.  Use it whenever n is laptop-sized (up to ~10⁷),
-    when you need per-process trajectories, sample-path couplings, or any
-    adversary — including the identity-tracking ones (sticky, hiding).
+    when you need per-process trajectories, sample-path couplings, custom
+    rules without count-space kernels, or custom identity-tracking
+    adversaries.
 
 ``occupancy`` (:func:`repro.engine.occupancy.simulate_occupancy`)
     One count per distinct value, one multinomial scatter per round: O(m²)
     time, **independent of n**.  Statistically exact (equal in law to the
-    vectorized engine — pinned by ``tests/test_engine_differential.py``), so
-    use it for very large populations with few values (n = 10⁸–10⁹, m up to
-    a few thousand).  Limits: rules need a count-space kernel (median,
-    median-k, median-noreplace, voter, minimum, maximum) and adversaries must
-    be expressible as count edits (balancing, reviving, switching, random,
-    targeted-median — not sticky/hiding); per-ball quantities (gravity,
-    per-process trajectories) are unavailable.
+    vectorized engine — pinned by the ``tests/equivalence.py`` harness via
+    ``tests/test_engine_differential.py``), so use it for very large
+    populations with few values (n = 10⁸–10⁹, m up to a few thousand).
+    Limits: rules need a count-space kernel (median, median-k,
+    median-noreplace, voter, minimum, maximum, three-majority,
+    two-choices-majority) and adversaries a count-edit form — every shipped
+    strategy has one, the identity-tracking pair (sticky, hiding) through
+    exact victim-*occupancy* tracking, which costs one extra multinomial
+    scatter per round (~2× the no-adversary round, still n-independent);
+    per-ball quantities (gravity, per-process trajectories) are unavailable.
 
 ``batch`` (:func:`repro.engine.batch.run_batch` / :func:`~repro.engine.batch.run_batch_fused` / :func:`~repro.engine.batch.run_batch_fused_occupancy`)
     Monte-Carlo over independent runs.  ``run_batch`` repeats any single-run
@@ -41,12 +45,19 @@ per round and therefore in where they are fast:
 
     =================  =========================================================
     rules              median, median-k (any k), median-noreplace, voter,
-                       minimum, maximum, or any rule defining
+                       minimum, maximum, three-majority (majority of three
+                       polled processes), two-choices-majority (adopt iff two
+                       samples agree), or any rule defining
                        ``occupancy_kernel(support, counts)``
-    adversaries        null, balancing, reviving, switching, random,
-                       targeted-median (count-edit forms via
-                       ``Adversary.corrupt_counts``) — **not** sticky/hiding
-                       (identity-tracking)
+    adversaries        every shipped strategy: null, balancing, reviving,
+                       switching, random, targeted-median (count-edit forms
+                       via ``Adversary.corrupt_counts``) **and** the
+                       identity-tracking pair sticky / hiding (exact
+                       victim-occupancy forms: the engine scatters the victim
+                       subpopulation separately — one extra multinomial pass
+                       per round, cost ~2× the no-adversary round, still
+                       independent of n).  Custom adversaries without a
+                       ``propose_counts`` override stay vectorized-only.
     =================  =========================================================
 
     ``run_batch(engine="occupancy-fused")`` checks the pair up front and

@@ -49,6 +49,7 @@ from repro.engine.occupancy import (
     OCCUPANCY_RULES,
     _as_occupancy,
     occupancy_round_batch,
+    occupancy_round_batch_split,
     simulate_occupancy,
 )
 from repro.engine.rng import spawn_rngs
@@ -84,7 +85,10 @@ BATCH_ENGINES = tuple(ENGINES) + ("occupancy-fused",)
 #: form — the ones able to drive the occupancy engines.  Classified by the
 #: same override check :attr:`~repro.adversary.base.Adversary.supports_counts`
 #: uses (no instantiation, so constructors with extra required arguments stay
-#: importable); the identity-tracking strategies (sticky, hiding) fall out.
+#: importable).  Every shipped strategy qualifies: the identity-tracking ones
+#: (sticky, hiding) through their exact victim-*occupancy* form (the engines
+#: scatter the victim subpopulation separately each round); only custom
+#: adversaries without a ``propose_counts`` override fall out.
 COUNT_ADVERSARIES = frozenset(
     name for name, cls in ADVERSARY_REGISTRY.items()
     if cls is None or cls.propose_counts is not Adversary.propose_counts
@@ -500,6 +504,29 @@ def _occupancy_round_blocked(counts: np.ndarray, rule: Rule,
     return out
 
 
+def _occupancy_round_blocked_split(counts: np.ndarray, victim_counts: np.ndarray,
+                                   rule: Rule, rng: np.random.Generator,
+                                   max_block_elems: int
+                                   ) -> tuple:
+    """Blocked twin of :func:`~repro.engine.occupancy.occupancy_round_batch_split`.
+
+    Used on rounds where at least one run's adversary tracks a victim
+    occupancy; runs without one carry a zero victim row (a no-op scatter).
+    """
+    R, m = counts.shape
+    block = max(1, int(max_block_elems) // max(m * m, 1))
+    if R <= block:
+        return occupancy_round_batch_split(counts, victim_counts, rule, rng)
+    out = np.empty_like(counts)
+    out_vic = np.empty_like(victim_counts)
+    for start in range(0, R, block):
+        out[start:start + block], out_vic[start:start + block] = \
+            occupancy_round_batch_split(counts[start:start + block],
+                                        victim_counts[start:start + block],
+                                        rule, rng)
+    return out, out_vic
+
+
 def run_batch_fused_occupancy(
     initial_factory: Union[Configuration, OccupancyState,
                            Callable[[np.random.Generator], Configuration],
@@ -545,8 +572,12 @@ def run_batch_fused_occupancy(
         engine — a sibling run's values are never admissible).
     adversary_factory:
         Zero-argument callable building a fresh count-capable adversary per
-        run; ``None`` disables corruption.  Identity-tracking strategies
-        (sticky, hiding) are rejected, matching the single-run engine.
+        run; ``None`` disables corruption.  The identity-tracking strategies
+        (sticky, hiding) run through their exact victim-occupancy form: their
+        runs' victim subpopulations are scattered as a separate multinomial
+        program each round (still one fused pass over the batch).  Custom
+        adversaries without a count-space form are rejected, matching the
+        single-run engine.
     criterion:
         Almost-stable criterion; defaults to tolerance ``4·T`` with a
         10-round window (1-round window without an adversary), matching
@@ -662,7 +693,28 @@ def run_batch_fused_occupancy(
                     sub[j] = adv.corrupt_counts(support, sub[j], t,
                                                 admissibles[r_idx], rng)
 
-        sub = _occupancy_round_blocked(sub, rule, rng, max_block_elems)
+        tracked = []
+        if any_adversary:
+            # runs whose adversary tracks a victim occupancy (sticky, hiding)
+            # get their victims scattered as a separate — exactly equivalent —
+            # multinomial program, and learn the victims' new occupancy
+            victims = None
+            for j, r_idx in enumerate(act):
+                adv = adversaries[r_idx]
+                if adv.budget > 0:
+                    vc = adv.victim_counts(support)
+                    if vc is not None:
+                        if victims is None:
+                            victims = np.zeros_like(sub)
+                        victims[j] = vc
+                        tracked.append((j, r_idx))
+        if tracked:
+            sub, new_victims = _occupancy_round_blocked_split(
+                sub, victims, rule, rng, max_block_elems)
+            for j, r_idx in tracked:
+                adversaries[r_idx].observe_victim_scatter(support, new_victims[j])
+        else:
+            sub = _occupancy_round_blocked(sub, rule, rng, max_block_elems)
 
         if any_adversary:
             for j, r_idx in enumerate(act):

@@ -33,13 +33,24 @@ dependence on n**, so n = 10⁸–10⁹ runs cost the same as n = 10⁴ for fixe
 Supported rules: :class:`~repro.core.median_rule.MedianRule`,
 :class:`~repro.core.median_rule.BestOfKMedianRule` (any k),
 :class:`~repro.core.median_rule.MedianRuleWithoutReplacement` (exact finite-n
-pair-without-replacement kernel), and the single-choice baselines
-(voter, minimum, maximum).  Rules may also provide their own kernel by
-defining ``occupancy_kernel(support, counts) -> (m, m) matrix``.
+pair-without-replacement kernel), the single-choice baselines
+(voter, minimum, maximum), and the majority family
+(:class:`~repro.core.baseline_rules.TwoChoicesMajorityRule` — classic
+3-majority — and :class:`~repro.core.baseline_rules.TwoChoicesRule` — classic
+2-Choices), whose majority-of-k-samples outcome distributions also close over
+the load pmf.  Rules may also provide their own kernel by defining
+``occupancy_kernel(support, counts) -> (m, m) matrix``.
 
 Adversaries act through budgeted *count edits*
 (:meth:`repro.adversary.base.Adversary.corrupt_counts`), reusing the same
-budget ledger as the vectorized engine.
+budget ledger as the vectorized engine.  Identity-tracking strategies
+(sticky, hiding) are expressed exactly by tracking their victims' *occupancy*
+instead of their identities: the engine splits each round's scatter into an
+independent civilian draw and victim draw (:func:`occupancy_round_split`) and
+reports the victims' new occupancy back to the adversary
+(:meth:`~repro.adversary.base.Adversary.observe_victim_scatter`) — scattering
+two disjoint subpopulations separately is distributionally identical to
+scattering their union, so the split is exact, not an approximation.
 """
 
 from __future__ import annotations
@@ -50,7 +61,13 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.adversary.base import Adversary, AdversaryTiming, NullAdversary
-from repro.core.baseline_rules import MaximumRule, MinimumRule, VoterRule
+from repro.core.baseline_rules import (
+    MaximumRule,
+    MinimumRule,
+    TwoChoicesMajorityRule,
+    TwoChoicesRule,
+    VoterRule,
+)
 from repro.core.consensus import AlmostStableCriterion, ConsensusStatus
 from repro.core.median_rule import (
     BestOfKMedianRule,
@@ -76,10 +93,14 @@ __all__ = [
     "median_outcome_matrix",
     "median_noreplace_outcome_matrix",
     "single_choice_outcome_matrix",
+    "three_majority_outcome_matrix",
+    "two_choices_outcome_matrix",
     "occupancy_transition_matrix",
     "occupancy_transition_matrix_batch",
     "occupancy_round",
     "occupancy_round_batch",
+    "occupancy_round_split",
+    "occupancy_round_batch_split",
     "simulate_occupancy",
 ]
 
@@ -92,7 +113,8 @@ _FULL_RECORD_LIMIT = 100_000
 #: :data:`OCCUPANCY_KERNEL_RULE_TYPES` below — the object-level source of
 #: truth used by the engine dispatch.
 OCCUPANCY_RULES = frozenset(
-    {"median", "median-noreplace", "median-k", "voter", "minimum", "maximum"}
+    {"median", "median-noreplace", "median-k", "voter", "minimum", "maximum",
+     "three-majority", "two-choices-majority"}
 )
 
 #: The transition matrix has m² float64 entries; beyond this support width a
@@ -104,7 +126,8 @@ MAX_SUPPORT_DEFAULT = 10_000
 #: rule providing its own ``occupancy_kernel``).  Shared with the batch
 #: layer's support checks so the two cannot drift.
 OCCUPANCY_KERNEL_RULE_TYPES = (MedianRule, BestOfKMedianRule, VoterRule,
-                               MinimumRule, MaximumRule)
+                               MinimumRule, MaximumRule,
+                               TwoChoicesMajorityRule, TwoChoicesRule)
 
 
 # ---------------------------------------------------------------------- #
@@ -244,6 +267,59 @@ def single_choice_outcome_matrix(cdf: np.ndarray, kind: str) -> np.ndarray:
     return _normalize_rows(Q)
 
 
+def three_majority_outcome_matrix(cdf: np.ndarray) -> np.ndarray:
+    """Outcome matrix of classic 3-majority (poll three, adopt their majority).
+
+    The own value does not participate, so every row is the same distribution
+    over the outcome of three i.i.d. samples from the load pmf ``p``: value
+    ``b`` wins iff at least two samples equal it, or all three samples are
+    distinct, include it, and the uniform tie-break picks it.  Summing the
+    two cases collapses to the closed form
+
+        ``q_b = p_b · (1 + p_b − Σ_c p_c²)``
+
+    (the ``3·p_b²(1−p_b) + p_b³`` at-least-two-of-three mass plus
+    ``p_b·((1−p_b)² − Σ_{c≠b} p_c²)`` from the tie-break), which sums to 1
+    since ``Σ_b p_b² · 1 − Σ_b p_b · Σ_c p_c²`` cancels.
+
+    ``cdf`` may carry leading batch dimensions ``(..., m)`` → ``(..., m, m)``.
+    """
+    F = np.asarray(cdf, dtype=np.float64)
+    m = F.shape[-1]
+    if m == 0:
+        return np.zeros(F.shape + (0,))
+    p = np.diff(F, prepend=0.0, axis=-1)
+    s2 = np.sum(p * p, axis=-1, keepdims=True)
+    q = p * (1.0 + p - s2)
+    Q = np.broadcast_to(q[..., None, :], F.shape[:-1] + (m, m)).copy()
+    return _normalize_rows(Q)
+
+
+def two_choices_outcome_matrix(cdf: np.ndarray) -> np.ndarray:
+    """Outcome matrix of classic 2-Choices (adopt iff both samples agree).
+
+    A holder of value class ``a`` switches to ``b ≠ a`` iff both samples land
+    on ``b`` (probability ``p_b²``) and keeps ``a`` otherwise:
+
+    * ``Q[a, b] = p_b²``                      for ``b ≠ a``,
+    * ``Q[a, a] = 1 − Σ_{b≠a} p_b² = 1 − Σ_c p_c² + p_a²``.
+
+    ``cdf`` may carry leading batch dimensions ``(..., m)`` → ``(..., m, m)``.
+    """
+    F = np.asarray(cdf, dtype=np.float64)
+    m = F.shape[-1]
+    if m == 0:
+        return np.zeros(F.shape + (0,))
+    p = np.diff(F, prepend=0.0, axis=-1)
+    p2 = p * p
+    s2 = np.sum(p2, axis=-1, keepdims=True)
+    diag = 1.0 - s2 + p2
+    a_idx = np.arange(m)[:, None]
+    b_idx = np.arange(m)[None, :]
+    Q = np.where(b_idx == a_idx, diag[..., None, :], p2[..., None, :])
+    return _normalize_rows(Q)
+
+
 def _normalize_rows(Q: np.ndarray) -> np.ndarray:
     """Clip floating-point negatives and renormalize each row to sum to 1."""
     Q = np.clip(Q, 0.0, None)
@@ -281,10 +357,15 @@ def _builtin_transition(rule: Rule, counts: np.ndarray) -> np.ndarray:
         return single_choice_outcome_matrix(cdf, "minimum")
     if isinstance(rule, MaximumRule):
         return single_choice_outcome_matrix(cdf, "maximum")
+    if isinstance(rule, TwoChoicesMajorityRule):
+        return three_majority_outcome_matrix(cdf)
+    if isinstance(rule, TwoChoicesRule):
+        return two_choices_outcome_matrix(cdf)
     raise TypeError(
         f"rule {rule.name!r} has no occupancy-space kernel; supported rules are "
-        "median, median-noreplace, median-k, voter, minimum, maximum, or any "
-        "rule defining occupancy_kernel(support, counts)"
+        "median, median-noreplace, median-k, voter, minimum, maximum, "
+        "three-majority, two-choices-majority, or any rule defining "
+        "occupancy_kernel(support, counts)"
     )
 
 
@@ -332,6 +413,34 @@ def occupancy_transition_matrix_batch(rule: Rule, counts: np.ndarray) -> np.ndar
 # ---------------------------------------------------------------------- #
 # the round and the run
 # ---------------------------------------------------------------------- #
+def _scatter_counts(counts: np.ndarray, Q: np.ndarray,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Scatter ``counts`` through outcome matrix ``Q``: column sums of the flows."""
+    # one batched draw: row a ~ Multinomial(counts[a], Q[a])
+    flows = rng.multinomial(counts, Q)
+    return flows.sum(axis=0, dtype=np.int64)
+
+
+def _scatter_counts_batch(counts: np.ndarray, Q: np.ndarray,
+                          rng: np.random.Generator) -> np.ndarray:
+    """Batched scatter: ``(R, m)`` counts through the ``(R, m, m)`` tensor."""
+    R, m = counts.shape
+    nz_run, nz_bin = np.nonzero(counts > 0)
+    if nz_run.shape[0] >= R * m:
+        flows = rng.multinomial(counts.reshape(R * m), Q.reshape(R * m, m))
+        return flows.reshape(R, m, m).sum(axis=1, dtype=np.int64)
+    # empty bins scatter nothing: draw only the occupied (run, bin) pairs and
+    # segment-sum the flows back per run (nz_run is sorted row-major, so each
+    # run's pairs are contiguous)
+    out = np.zeros((R, m), dtype=np.int64)
+    if nz_run.shape[0] == 0:
+        return out
+    flows = rng.multinomial(counts[nz_run, nz_bin], Q[nz_run, nz_bin])
+    starts = np.flatnonzero(np.r_[True, np.diff(nz_run) > 0])
+    out[nz_run[starts]] = np.add.reduceat(flows, starts, axis=0)
+    return out
+
+
 def occupancy_round(counts: np.ndarray, rule: Rule,
                     rng: np.random.Generator) -> np.ndarray:
     """Advance one synchronous round in count space (exact, O(m²)).
@@ -342,9 +451,37 @@ def occupancy_round(counts: np.ndarray, rule: Rule,
     """
     counts = np.asarray(counts, dtype=np.int64)
     Q = occupancy_transition_matrix(rule, counts)
-    # one batched draw: row a ~ Multinomial(counts[a], Q[a])
-    flows = rng.multinomial(counts, Q)
-    return flows.sum(axis=0, dtype=np.int64)
+    return _scatter_counts(counts, Q, rng)
+
+
+def occupancy_round_split(counts: np.ndarray, victim_counts: np.ndarray,
+                          rule: Rule, rng: np.random.Generator
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """One round with the victim subpopulation scattered separately (exact).
+
+    ``victim_counts`` is the occupancy of a distinguished subpopulation
+    (an identity-tracking adversary's victims) with ``victim_counts ≤ counts``
+    bin-wise.  Conditionally on the pre-round occupancy all n per-process
+    updates are independent draws from the per-class outcome distribution, so
+    scattering civilians (``counts − victim_counts``) and victims as two
+    independent multinomial programs — both through the transition matrix of
+    the *total* counts — has exactly the same joint law as one combined
+    scatter plus tracking which holders were victims.
+
+    Returns ``(new_counts, new_victim_counts)``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    victim_counts = np.asarray(victim_counts, dtype=np.int64)
+    civilians = counts - victim_counts
+    if np.any(victim_counts < 0) or np.any(civilians < 0):
+        raise ValueError(
+            "victim occupancy out of sync with the population counts "
+            "(victim_counts must satisfy 0 <= victim_counts <= counts)"
+        )
+    Q = occupancy_transition_matrix(rule, counts)
+    new_civilians = _scatter_counts(civilians, Q, rng)
+    new_victims = _scatter_counts(victim_counts, Q, rng)
+    return new_civilians + new_victims, new_victims
 
 
 def occupancy_round_batch(counts: np.ndarray, rule: Rule,
@@ -359,20 +496,31 @@ def occupancy_round_batch(counts: np.ndarray, rule: Rule,
     identically to :func:`occupancy_round` applied to that row alone.
     """
     counts = np.asarray(counts, dtype=np.int64)
-    R, m = counts.shape
     Q = occupancy_transition_matrix_batch(rule, counts)
-    nz_run, nz_bin = np.nonzero(counts > 0)
-    if nz_run.shape[0] >= R * m:
-        flows = rng.multinomial(counts.reshape(R * m), Q.reshape(R * m, m))
-        return flows.reshape(R, m, m).sum(axis=1, dtype=np.int64)
-    # empty bins scatter nothing: draw only the occupied (run, bin) pairs and
-    # segment-sum the flows back per run (nz_run is sorted row-major, so each
-    # run's pairs are contiguous)
-    flows = rng.multinomial(counts[nz_run, nz_bin], Q[nz_run, nz_bin])
-    out = np.zeros((R, m), dtype=np.int64)
-    starts = np.flatnonzero(np.r_[True, np.diff(nz_run) > 0])
-    out[nz_run[starts]] = np.add.reduceat(flows, starts, axis=0)
-    return out
+    return _scatter_counts_batch(counts, Q, rng)
+
+
+def occupancy_round_batch_split(counts: np.ndarray, victim_counts: np.ndarray,
+                                rule: Rule, rng: np.random.Generator
+                                ) -> tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`occupancy_round_split`: ``(R, m)`` counts and victims.
+
+    Rows whose run has no victim tracking simply carry a zero victim row —
+    scattering zero victims is a no-op, so mixed batches (some runs with an
+    identity-tracking adversary, some without) stay one fused program.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    victim_counts = np.asarray(victim_counts, dtype=np.int64)
+    civilians = counts - victim_counts
+    if np.any(victim_counts < 0) or np.any(civilians < 0):
+        raise ValueError(
+            "victim occupancy out of sync with the population counts "
+            "(victim_counts must satisfy 0 <= victim_counts <= counts)"
+        )
+    Q = occupancy_transition_matrix_batch(rule, counts)
+    new_civilians = _scatter_counts_batch(civilians, Q, rng)
+    new_victims = _scatter_counts_batch(victim_counts, Q, rng)
+    return new_civilians + new_victims, new_victims
 
 
 def _as_occupancy(initial: Union[Configuration, OccupancyState, np.ndarray, Sequence[int]]
@@ -422,8 +570,14 @@ def simulate_occupancy(
     * ``record=RecordLevel.FULL`` stores expanded configurations and is
       refused for n > 100_000.
     * The adversary must support count edits
-      (:attr:`~repro.adversary.base.Adversary.supports_counts`); the
-      identity-tracking strategies (sticky, hiding) do not.
+      (:attr:`~repro.adversary.base.Adversary.supports_counts`).  Every
+      shipped strategy does — the identity-tracking ones (sticky, hiding)
+      through an exact victim-*occupancy* form: the engine splits each
+      round's scatter into independent civilian and victim draws
+      (:func:`occupancy_round_split`) and reports the victims' new occupancy
+      back via
+      :meth:`~repro.adversary.base.Adversary.observe_victim_scatter`.
+      Only custom adversaries without a count-space form are rejected.
     """
     state = _as_occupancy(initial)
     rule = rule or MedianRule()
@@ -495,7 +649,12 @@ def simulate_occupancy(
         if adversary.budget > 0 and adversary.timing is AdversaryTiming.BEFORE_SAMPLING:
             counts = adversary.corrupt_counts(support, counts, t, admissible, rng)
 
-        counts = occupancy_round(counts, rule, rng)
+        victims = adversary.victim_counts(support) if adversary.budget > 0 else None
+        if victims is not None:
+            counts, new_victims = occupancy_round_split(counts, victims, rule, rng)
+            adversary.observe_victim_scatter(support, new_victims)
+        else:
+            counts = occupancy_round(counts, rule, rng)
 
         if adversary.budget > 0 and adversary.timing is AdversaryTiming.AFTER_SAMPLING:
             counts = adversary.corrupt_counts(support, counts, t, admissible, rng)

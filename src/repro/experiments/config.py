@@ -107,11 +107,13 @@ class SweepConfig:
         """A copy of the sweep with every cell retargeted to ``engine``.
 
         ``"occupancy-fused"`` is applied per cell: cells whose rule/adversary
-        pair has no count-space form (e.g. ``three-majority``, or the sticky /
-        hiding adversaries) or whose support is too wide for count space to
-        win (m² ≫ n, e.g. the all-distinct workload) fall back to
-        ``"vectorized"`` so the sweep still runs end to end — and at the right
-        speed — instead of dying on an unsupported cell.  Resolution is
+        pair has no count-space form (e.g. the ``mean`` rule, or a custom
+        identity-tracking adversary without a ``propose_counts`` override —
+        every shipped rule/adversary pair now has one) or whose support is
+        too wide for count space to win (m² ≫ n, e.g. the all-distinct
+        workload) fall back to ``"vectorized"`` so the sweep still runs end
+        to end — and at the right speed — instead of dying on an unsupported
+        cell.  Resolution is
         delegated to :func:`repro.experiments.runner.resolve_cell_engine`,
         the same helper every execution path uses.
         """

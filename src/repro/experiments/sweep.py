@@ -292,8 +292,10 @@ def rule_comparison_sweep(n: int = 1024, m: int = 16, num_runs: int = 10,
     """Ablation: the power of two choices — median vs one-choice and other rules.
 
     With ``engine="occupancy"`` the comparison is restricted to the rules that
-    have a count-space kernel (dropping e.g. ``three-majority``), so the sweep
-    runs instead of dying mid-way on an unsupported rule.
+    have a count-space kernel, so the sweep runs instead of dying mid-way on
+    an unsupported rule.  The whole default grid (including ``three-majority``)
+    has kernels now; the filter only bites for custom kernel-less rules such
+    as ``mean``.
     """
     if engine == "occupancy":
         from repro.engine.occupancy import OCCUPANCY_RULES

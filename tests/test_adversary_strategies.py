@@ -216,3 +216,43 @@ class TestStickyAdversary:
             values = adv.corrupt(values, t, ADMISSIBLE, rng)
         assert adv.ledger.verify()
         assert adv.ledger.max_in_round() <= 2
+
+
+class TestVictimsPerBin:
+    """The count-space uniform victim draw, including the huge-n fallback."""
+
+    def test_matches_counts_and_size(self):
+        from repro.adversary.strategies import _victims_per_bin
+
+        rng = np.random.default_rng(0)
+        counts = np.array([50, 0, 30, 20], dtype=np.int64)
+        out = _victims_per_bin(counts, 25, rng)
+        assert int(out.sum()) == 25
+        assert np.all(out >= 0) and np.all(out <= counts)
+        assert out[1] == 0  # empty bins never yield victims
+
+    def test_huge_population_fallback_is_exact_in_law(self, monkeypatch):
+        # force the sequential path at small scale and compare its law with
+        # numpy's multivariate hypergeometric via per-bin means (hypergeometric
+        # mean = size * c_i / n, CLT-bounded)
+        import repro.adversary.strategies as strategies
+
+        counts = np.array([60, 25, 15], dtype=np.int64)
+        size, reps = 10, 3000
+        rng = np.random.default_rng(1)
+        monkeypatch.setattr(strategies, "_MVH_POPULATION_LIMIT", 0)
+        draws = np.stack([strategies._victims_per_bin(counts, size, rng)
+                          for _ in range(reps)])
+        assert np.all(draws.sum(axis=1) == size)
+        expected = size * counts / counts.sum()
+        se = draws.std(axis=0, ddof=1) / np.sqrt(reps)
+        assert np.all(np.abs(draws.mean(axis=0) - expected) <= 6 * se + 1e-9)
+
+    def test_population_at_mvh_limit_runs(self):
+        from repro.adversary.strategies import _victims_per_bin
+
+        rng = np.random.default_rng(2)
+        n = 1_000_000_000
+        counts = np.full(4, n // 4, dtype=np.int64)
+        out = _victims_per_bin(counts, 100, rng)
+        assert int(out.sum()) == 100 and np.all(out >= 0)

@@ -19,6 +19,9 @@ from repro.analysis.drift import (
     lemma12_contraction_factor,
     lemma15_growth_factor,
     measure_empirical_drift,
+    measure_empirical_occupancy_drift,
+    occupancy_expected_counts,
+    occupancy_expected_drift,
 )
 
 
@@ -119,6 +122,60 @@ class TestEmpiricalDrift:
     def test_invalid_samples(self):
         with pytest.raises(ValueError):
             measure_empirical_drift(100, 30, 0, np.random.default_rng(0))
+
+
+class TestOccupancyExpectedDrift:
+    """Exact E[c'|c] = cᵀQ from the O(m²) transition matrix — the finite-n
+    refinement of the mean-field cdf_map, for every occupancy-kernel rule."""
+
+    def test_two_bin_median_reduces_to_closed_form(self):
+        from repro.core.median_rule import MedianRule
+
+        n, minority = 500, 180
+        expected = occupancy_expected_counts(
+            MedianRule(), np.array([minority, n - minority]))
+        assert expected[0] == pytest.approx(expected_minority_next(n, minority))
+        assert expected.sum() == pytest.approx(n)
+
+    def test_refines_mean_field_cdf_map(self):
+        from repro.analysis.meanfield import cdf_map
+        from repro.core.median_rule import MedianRule
+
+        counts = np.array([100, 250, 150, 80])
+        n = counts.sum()
+        lhs = np.cumsum(occupancy_expected_counts(MedianRule(), counts)) / n
+        np.testing.assert_allclose(lhs, cdf_map(np.cumsum(counts) / n),
+                                   atol=1e-12)
+
+    def test_drift_conserves_population(self):
+        from repro.core.rules import get_rule
+
+        counts = np.array([60, 0, 25, 15])
+        for name in ("median", "voter", "minimum", "maximum",
+                     "three-majority", "two-choices-majority"):
+            drift = occupancy_expected_drift(get_rule(name), counts)
+            assert drift.sum() == pytest.approx(0.0, abs=1e-9), name
+
+    @pytest.mark.parametrize("rule_name", ["median", "three-majority",
+                                           "two-choices-majority"])
+    def test_matches_monte_carlo_within_clt_bounds(self, rule_name):
+        from repro.core.rules import get_rule
+
+        counts = np.array([100, 250, 150])
+        obs = measure_empirical_occupancy_drift(
+            get_rule(rule_name), counts, samples=4000,
+            rng=np.random.default_rng(42))
+        z = np.abs(obs["mean"] - obs["predicted"]) / np.maximum(
+            obs["standard_error"], 1e-9)
+        assert float(z.max()) <= 6.0, f"{rule_name}: max z = {z.max():.2f}"
+        np.testing.assert_allclose(obs["predicted"].sum(), counts.sum())
+
+    def test_invalid_samples(self):
+        from repro.core.median_rule import MedianRule
+
+        with pytest.raises(ValueError):
+            measure_empirical_occupancy_drift(
+                MedianRule(), np.array([5, 5]), 0, np.random.default_rng(0))
 
 
 class TestLemma14CLT:

@@ -249,11 +249,43 @@ class TestRunBatchFusedOccupancy:
         with pytest.raises(ValueError):
             run_batch_fused_occupancy(blocks_workload(64, 4), 0)
 
-    def test_identity_tracking_adversary_rejected(self):
+    def test_custom_identity_tracking_adversary_rejected(self):
+        from repro.adversary.base import Adversary, Corruption
+
+        class IdentityOnly(Adversary):
+            def propose(self, values, round_index, admissible_values, rng):
+                return Corruption.empty()
+
         with pytest.raises(NotImplementedError, match="identities"):
             run_batch_fused_occupancy(
                 Configuration.two_bins(128, minority=64), 4, seed=10,
-                adversary_factory=lambda: StickyAdversary(budget=3))
+                adversary_factory=lambda: IdentityOnly(budget=3))
+
+    def test_sticky_adversary_runs_fused_via_victim_occupancy(self):
+        batch = run_batch_fused_occupancy(
+            Configuration.two_bins(256, minority=128), 8, seed=10,
+            adversary_factory=lambda: StickyAdversary(budget=3),
+            max_rounds=400)
+        assert batch.meta["engine"] == "occupancy-fused"
+        assert batch.convergence_fraction == 1.0
+        assert batch.meta["budget_ledger_ok"] is True
+
+    def test_mixed_tracking_and_plain_adversaries_in_one_batch(self):
+        from repro.adversary.strategies import HidingAdversary
+
+        sequence = []
+
+        def alternating_factory():
+            adv = HidingAdversary(budget=3) if len(sequence) % 2 == 0 \
+                else BalancingAdversary(budget=3)
+            sequence.append(adv)
+            return adv
+
+        batch = run_batch_fused_occupancy(
+            Configuration.two_bins(256, minority=128), 8, seed=11,
+            adversary_factory=alternating_factory, max_rounds=500)
+        assert batch.convergence_fraction == 1.0
+        assert batch.meta["budget_ledger_ok"] is True
 
     def test_adversary_tolerance_default(self):
         batch = run_batch_fused_occupancy(
@@ -279,8 +311,12 @@ class TestEngineDispatch:
         assert "occupancy-fused" in BATCH_ENGINES
         assert fused_occupancy_cell_supported("median", "balancing")
         assert fused_occupancy_cell_supported("voter")
-        assert not fused_occupancy_cell_supported("three-majority")
-        assert not fused_occupancy_cell_supported("median", "sticky")
+        # the majority family and identity-tracking adversaries gained
+        # count-space forms; only kernel-less rules remain unsupported
+        assert fused_occupancy_cell_supported("three-majority")
+        assert fused_occupancy_cell_supported("two-choices-majority", "hiding")
+        assert fused_occupancy_cell_supported("median", "sticky")
+        assert not fused_occupancy_cell_supported("mean")
         # geometry guard: count space loses (or outright refuses) wide supports
         assert fused_occupancy_cell_supported("median", "null", n=10**6, m=64)
         assert not fused_occupancy_cell_supported("median", "null", n=2048, m=2048)
@@ -324,9 +360,19 @@ class TestEngineDispatch:
         from repro.core.rules import get_rule
 
         batch = run_batch(blocks_workload(128, 4), num_runs=2, seed=15,
-                          rule=get_rule("three-majority"),
+                          rule=get_rule("mean"),
                           engine="occupancy-fused")
         assert batch.meta["engine"] == "vectorized"
+        assert batch.convergence_fraction == 1.0
+
+    def test_run_batch_routes_majority_family_to_fused(self):
+        from repro.core.rules import get_rule
+
+        batch = run_batch(blocks_workload(512, 4), num_runs=4, seed=15,
+                          rule=get_rule("three-majority"),
+                          adversary_factory=lambda: StickyAdversary(budget=3),
+                          engine="occupancy-fused", max_rounds=400)
+        assert batch.meta["engine"] == "occupancy-fused"
         assert batch.convergence_fraction == 1.0
 
     def test_probe_does_not_consume_an_extra_factory_call(self):
@@ -383,7 +429,7 @@ class TestEngineDispatch:
         sweep = SweepConfig(name="plain")
         sweep.add(ExperimentConfig(name="no-kernel", workload="blocks",
                                    workload_params={"n": 64, "m": 4},
-                                   rule="three-majority"))
+                                   rule="mean"))
         resolved = sweep.with_engine("occupancy")
         assert resolved.cells[0].engine == "occupancy"
 
@@ -393,12 +439,18 @@ class TestEngineDispatch:
                                    workload_params={"n": 64, "m": 4}))
         sweep.add(ExperimentConfig(name="no-kernel", workload="blocks",
                                    workload_params={"n": 64, "m": 4},
+                                   rule="mean"))
+        # majority-family rules and identity-tracking adversaries now have
+        # count-space forms, so these cells stay on the fused engine
+        sweep.add(ExperimentConfig(name="majority", workload="blocks",
+                                   workload_params={"n": 64, "m": 4},
                                    rule="three-majority"))
-        sweep.add(ExperimentConfig(name="no-counts", workload="blocks",
+        sweep.add(ExperimentConfig(name="victims", workload="blocks",
                                    workload_params={"n": 64, "m": 4},
                                    adversary="sticky", adversary_budget=2))
         resolved = sweep.with_engine("occupancy-fused")
         engines = {c.name: c.engine for c in resolved}
         assert engines == {"ok": "occupancy-fused",
                            "no-kernel": "vectorized",
-                           "no-counts": "vectorized"}
+                           "majority": "occupancy-fused",
+                           "victims": "occupancy-fused"}

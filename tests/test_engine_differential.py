@@ -1,189 +1,158 @@
-"""Differential tests: the occupancy engine is pinned to the vectorized engine.
+"""Differential tests: the occupancy engines are pinned to the vectorized engine.
 
-The occupancy engine claims *statistical exactness*: for any initial
+The occupancy engines claim *statistical exactness*: for any initial
 configuration, rule and (count-expressible) adversary, the distribution of
 every occupancy-measurable statistic is identical to the vectorized engine's.
-The two engines consume randomness differently, so runs are compared in
-distribution, not path-wise: for each scenario we run ≥200 independent runs
-per engine with fixed seed roots and require
+The machinery — paired-run mean/variance/KS checks over convergence rounds,
+mean minority trajectories, and one-round exact-flow (L1/TV) checks — lives
+in :mod:`equivalence` so every kernel is certified by the same harness; this
+module declares the scenario grid:
 
-* the mean consensus/convergence round to agree within a 6-sigma Welch
-  tolerance (plus a small absolute slack),
-* the variance of the convergence round to agree within the sampling
-  tolerance of a 200-run variance estimate,
-* the mean minority-count trajectory (round by round over a fixed horizon)
-  to agree within the same Welch tolerance.
+* the median family (MedianRule, BestOfKMedianRule) with and without a
+  balancing adversary, at n ∈ {100, 1000} — the original coverage;
+* the majority family (three-majority, two-choices-majority) and the
+  identity-tracking adversaries (sticky, hiding, in their exact
+  victim-occupancy count form), crossed over ``engine="occupancy"`` *and*
+  ``engine="occupancy-fused"`` — the scenarios the paper contrasts against
+  the median rule, previously forced onto the O(n) vectorized path.
 
-Scenarios cover MedianRule and BestOfKMedianRule, with and without a
-balancing adversary, at n ∈ {100, 1000}.  Seeds are fixed, so these tests are
-deterministic; the tolerances are sized so a correct implementation passes
-with wide margin while an off-by-one in the transition CDF (e.g. using
-``F_a`` where ``F_{a-1}`` belongs) fails immediately.
+Seeds are fixed, so these tests are deterministic; the tolerances are sized
+so a correct implementation passes with wide margin while an off-by-one in a
+transition CDF (e.g. using ``F_a`` where ``F_{a-1}`` belongs) fails
+immediately.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
-
-import numpy as np
 import pytest
 
-from repro.adversary.base import Adversary
-from repro.adversary.strategies import BalancingAdversary
+from equivalence import (
+    EquivalenceScenario,
+    assert_means_close,
+    assert_one_round_flows_match,
+    assert_rounds_equivalent,
+    collect_convergence_rounds,
+    collect_minority_trajectories,
+)
+from repro.adversary.strategies import (
+    BalancingAdversary,
+    HidingAdversary,
+    StickyAdversary,
+)
+from repro.core.baseline_rules import TwoChoicesMajorityRule, TwoChoicesRule
 from repro.core.median_rule import BestOfKMedianRule, MedianRule
-from repro.core.rules import Rule
-from repro.engine.occupancy import simulate_occupancy
-from repro.engine.trajectory import RecordLevel
-from repro.engine.vectorized import simulate
-from repro.experiments.workloads import blocks_workload
 
 RUNS = 200
-HORIZON = 400
 TRAJ_ROUNDS = 12
 
 
-@dataclass(frozen=True)
-class Scenario:
-    name: str
-    n: int
-    m: int
-    rule_factory: Callable[[], Rule]
-    budget: int  # 0 → no adversary
-
-    def make_adversary(self) -> Optional[Callable[[], Adversary]]:
-        if self.budget == 0:
-            return None
-        return lambda: BalancingAdversary(budget=self.budget)
+def _balancing(budget):
+    return lambda: BalancingAdversary(budget=budget)
 
 
-SCENARIOS = [
-    Scenario("median/n=100/noadv", 100, 4, MedianRule, 0),
-    Scenario("median/n=100/adv", 100, 4, MedianRule, 2),
-    Scenario("median-k3/n=100/noadv", 100, 4, lambda: BestOfKMedianRule(k=3), 0),
-    Scenario("median-k3/n=100/adv", 100, 4, lambda: BestOfKMedianRule(k=3), 2),
-    Scenario("median/n=1000/noadv", 1000, 8, MedianRule, 0),
-    Scenario("median/n=1000/adv", 1000, 8, MedianRule, 6),
-    Scenario("median-k3/n=1000/noadv", 1000, 8, lambda: BestOfKMedianRule(k=3), 0),
-    Scenario("median-k3/n=1000/adv", 1000, 8, lambda: BestOfKMedianRule(k=3), 6),
+def _sticky(budget):
+    return lambda: StickyAdversary(budget=budget)
+
+
+def _hiding(budget):
+    return lambda: HidingAdversary(budget=budget)
+
+
+#: The original median-family grid (vectorized vs looped occupancy).
+MEDIAN_SCENARIOS = [
+    EquivalenceScenario("median/n=100/noadv", 100, 4, MedianRule),
+    EquivalenceScenario("median/n=100/adv", 100, 4, MedianRule, _balancing(2)),
+    EquivalenceScenario("median-k3/n=100/noadv", 100, 4,
+                        lambda: BestOfKMedianRule(k=3)),
+    EquivalenceScenario("median-k3/n=100/adv", 100, 4,
+                        lambda: BestOfKMedianRule(k=3), _balancing(2)),
+    EquivalenceScenario("median/n=1000/noadv", 1000, 8, MedianRule),
+    EquivalenceScenario("median/n=1000/adv", 1000, 8, MedianRule, _balancing(6)),
+    EquivalenceScenario("median-k3/n=1000/noadv", 1000, 8,
+                        lambda: BestOfKMedianRule(k=3)),
+    EquivalenceScenario("median-k3/n=1000/adv", 1000, 8,
+                        lambda: BestOfKMedianRule(k=3), _balancing(6)),
 ]
 
-_ENGINES = {"vectorized": simulate, "occupancy": simulate_occupancy}
+#: The widened coverage: majority-family kernels × identity-tracking
+#: adversaries (count-space victim-occupancy forms), certified against the
+#: vectorized engine through the looped *and* the fused occupancy engine.
+MAJORITY_SCENARIOS = [
+    EquivalenceScenario("three-majority/noadv", 600, 4, TwoChoicesMajorityRule),
+    EquivalenceScenario("three-majority/sticky", 600, 4, TwoChoicesMajorityRule,
+                        _sticky(4)),
+    EquivalenceScenario("three-majority/hiding", 600, 4, TwoChoicesMajorityRule,
+                        _hiding(4)),
+    EquivalenceScenario("two-choices/noadv", 600, 4, TwoChoicesRule),
+    EquivalenceScenario("two-choices/sticky", 600, 4, TwoChoicesRule, _sticky(4)),
+    EquivalenceScenario("two-choices/hiding", 600, 4, TwoChoicesRule, _hiding(4)),
+    EquivalenceScenario("median/sticky", 600, 4, MedianRule, _sticky(4)),
+    EquivalenceScenario("median/hiding", 600, 4, MedianRule, _hiding(4)),
+]
 
 
-def _convergence_rounds(engine: str, sc: Scenario, seed_base: int) -> np.ndarray:
-    """Convergence round of RUNS independent runs (NaN if not converged)."""
-    simulate_fn = _ENGINES[engine]
-    init = blocks_workload(sc.n, sc.m)
-    adv_factory = sc.make_adversary()
-    out = np.full(RUNS, np.nan)
-    for i in range(RUNS):
-        adversary = adv_factory() if adv_factory else None
-        res = simulate_fn(init, rule=sc.rule_factory(), adversary=adversary,
-                          seed=seed_base + i, max_rounds=HORIZON,
-                          record=RecordLevel.NONE)
-        r = res.convergence_round()
-        if r is not None:
-            out[i] = r
-    return out
+@pytest.mark.parametrize("sc", MEDIAN_SCENARIOS, ids=lambda sc: sc.name)
+def test_convergence_round_statistics_match(sc: EquivalenceScenario):
+    vect = collect_convergence_rounds("vectorized", sc, RUNS, seed_base=10_000)
+    occ = collect_convergence_rounds("occupancy", sc, RUNS, seed_base=20_000)
+    assert_rounds_equivalent(vect, occ, sc.name)
 
 
-def _minority_trajectories(engine: str, sc: Scenario, seed_base: int) -> np.ndarray:
-    """(RUNS, TRAJ_ROUNDS+1) minority counts over a fixed horizon."""
-    simulate_fn = _ENGINES[engine]
-    init = blocks_workload(sc.n, sc.m)
-    adv_factory = sc.make_adversary()
-    out = np.empty((RUNS, TRAJ_ROUNDS + 1))
-    for i in range(RUNS):
-        adversary = adv_factory() if adv_factory else None
-        res = simulate_fn(init, rule=sc.rule_factory(), adversary=adversary,
-                          seed=seed_base + i, max_rounds=TRAJ_ROUNDS,
-                          run_to_horizon=True, record=RecordLevel.METRICS)
-        out[i] = res.trajectory.minority_series()
-    return out
+@pytest.mark.parametrize("engine", ["occupancy", "occupancy-fused"])
+@pytest.mark.parametrize("sc", MAJORITY_SCENARIOS, ids=lambda sc: sc.name)
+def test_majority_and_victim_adversary_statistics_match(sc: EquivalenceScenario,
+                                                        engine: str):
+    vect = collect_convergence_rounds("vectorized", sc, RUNS, seed_base=110_000)
+    fast = collect_convergence_rounds(engine, sc, RUNS, seed_base=120_000)
+    assert_rounds_equivalent(vect, fast, f"{sc.name} via {engine}")
 
 
-def _assert_means_close(a: np.ndarray, b: np.ndarray, label: str,
-                        sigmas: float = 6.0, abs_slack: float = 0.75) -> None:
-    """Welch-style two-sample check: |mean_a − mean_b| within `sigmas` SEs."""
-    a = a[~np.isnan(a)]
-    b = b[~np.isnan(b)]
-    assert a.size and b.size, f"{label}: an engine never converged"
-    se = float(np.sqrt(np.var(a, ddof=1) / a.size + np.var(b, ddof=1) / b.size))
-    diff = abs(float(np.mean(a)) - float(np.mean(b)))
-    assert diff <= sigmas * se + abs_slack, (
-        f"{label}: means {np.mean(a):.3f} vs {np.mean(b):.3f} "
-        f"differ by {diff:.3f} > {sigmas}·SE + {abs_slack} = {sigmas * se + abs_slack:.3f}"
-    )
-
-
-def _assert_variances_close(a: np.ndarray, b: np.ndarray, label: str,
-                            factor: float = 2.5, abs_slack: float = 1.5) -> None:
-    """Sample variances of ~200 draws agree within sampling tolerance."""
-    a = a[~np.isnan(a)]
-    b = b[~np.isnan(b)]
-    va, vb = float(np.var(a, ddof=1)), float(np.var(b, ddof=1))
-    assert va <= factor * vb + abs_slack and vb <= factor * va + abs_slack, (
-        f"{label}: variances {va:.3f} vs {vb:.3f} differ beyond "
-        f"factor {factor} + {abs_slack}"
-    )
-
-
-@pytest.mark.parametrize("sc", SCENARIOS, ids=lambda sc: sc.name)
-def test_convergence_round_statistics_match(sc: Scenario):
-    vect = _convergence_rounds("vectorized", sc, seed_base=10_000)
-    occ = _convergence_rounds("occupancy", sc, seed_base=20_000)
-    # both engines must converge essentially always in these regimes
-    assert np.isnan(vect).mean() <= 0.02, f"{sc.name}: vectorized rarely converged"
-    assert np.isnan(occ).mean() <= 0.02, f"{sc.name}: occupancy rarely converged"
-    _assert_means_close(vect, occ, f"{sc.name} convergence round")
-    _assert_variances_close(vect, occ, f"{sc.name} convergence round")
-
-
-@pytest.mark.parametrize("sc", [SCENARIOS[0], SCENARIOS[1],
-                                SCENARIOS[4], SCENARIOS[5]],
+@pytest.mark.parametrize("sc", [MEDIAN_SCENARIOS[0], MEDIAN_SCENARIOS[1],
+                                MEDIAN_SCENARIOS[4], MEDIAN_SCENARIOS[5]],
                          ids=lambda sc: sc.name)
-def test_minority_trajectory_statistics_match(sc: Scenario):
-    vect = _minority_trajectories("vectorized", sc, seed_base=30_000)
-    occ = _minority_trajectories("occupancy", sc, seed_base=40_000)
+def test_minority_trajectory_statistics_match(sc: EquivalenceScenario):
+    vect = collect_minority_trajectories("vectorized", sc, RUNS,
+                                         seed_base=30_000, rounds=TRAJ_ROUNDS)
+    occ = collect_minority_trajectories("occupancy", sc, RUNS,
+                                        seed_base=40_000, rounds=TRAJ_ROUNDS)
     assert vect.shape == occ.shape
     for t in range(TRAJ_ROUNDS + 1):
-        _assert_means_close(vect[:, t], occ[:, t],
-                            f"{sc.name} minority at round {t}")
+        assert_means_close(vect[:, t], occ[:, t],
+                           f"{sc.name} minority at round {t}")
 
 
-def test_one_round_occupancy_distribution_matches_exactly():
-    """Tight per-round check at tiny n: the full next-round occupancy
-    distribution of the two substrates agrees.
+@pytest.mark.parametrize("sc", [
+    EquivalenceScenario("three-majority/sticky/traj", 500, 4,
+                        TwoChoicesMajorityRule, _sticky(4)),
+    EquivalenceScenario("two-choices/hiding/traj", 500, 4,
+                        TwoChoicesRule, _hiding(4)),
+], ids=lambda sc: sc.name)
+def test_majority_minority_trajectories_match(sc: EquivalenceScenario):
+    vect = collect_minority_trajectories("vectorized", sc, RUNS,
+                                         seed_base=130_000, rounds=TRAJ_ROUNDS)
+    occ = collect_minority_trajectories("occupancy", sc, RUNS,
+                                        seed_base=140_000, rounds=TRAJ_ROUNDS)
+    for t in range(TRAJ_ROUNDS + 1):
+        assert_means_close(vect[:, t], occ[:, t],
+                           f"{sc.name} minority at round {t}")
 
-    Drives the raw round kernels (``rule.step`` vs ``occupancy_round``)
-    directly so tens of thousands of single-round draws are cheap, then
-    compares the empirical distributions over complete occupancy outcomes
-    with an L1 bound calibrated to the sampling noise of identical laws
-    (E[L1] ≲ 0.8·sqrt(2K/trials) for K observed outcomes)."""
-    from repro.engine.occupancy import occupancy_round
 
-    n, m = 12, 3
-    init_values = blocks_workload(n, m).copy_values()
-    init_counts = np.array([np.sum(init_values == v) for v in range(m)],
-                           dtype=np.int64)
-    trials = 40_000
-    rule = MedianRule()
-    rng_v = np.random.default_rng(50_000)
-    rng_o = np.random.default_rng(60_000)
-    hist_v: dict = {}
-    hist_o: dict = {}
-    for _ in range(trials):
-        out_v = rule.step(init_values, rng_v)
-        key_v = tuple(int(np.sum(out_v == v)) for v in range(m))
-        hist_v[key_v] = hist_v.get(key_v, 0) + 1
-        out_o = occupancy_round(init_counts, rule, rng_o)
-        key_o = tuple(int(c) for c in out_o)
-        hist_o[key_o] = hist_o.get(key_o, 0) + 1
-    keys = set(hist_v) | set(hist_o)
-    l1 = sum(abs(hist_v.get(k, 0) - hist_o.get(k, 0)) for k in keys) / trials
-    noise = 0.8 * np.sqrt(2 * len(keys) / trials)
-    assert l1 < max(3 * noise, 0.05), (
-        f"one-round occupancy laws differ: L1 {l1:.4f} over {len(keys)} "
-        f"outcomes (noise scale {noise:.4f})"
-    )
+#: One-round exact-flow grid at tiny n: the complete next-occupancy law of
+#: one *engine* round (including corruption placement and the victim-
+#: occupancy split-scatter) must match between the substrates.
+ONE_ROUND_SCENARIOS = [
+    EquivalenceScenario("median/noadv/1round", 12, 3, MedianRule),
+    EquivalenceScenario("median/sticky/1round", 12, 3, MedianRule, _sticky(3)),
+    EquivalenceScenario("three-majority/noadv/1round", 12, 3,
+                        TwoChoicesMajorityRule),
+    EquivalenceScenario("three-majority/sticky/1round", 12, 3,
+                        TwoChoicesMajorityRule, _sticky(3)),
+    EquivalenceScenario("two-choices/noadv/1round", 12, 3, TwoChoicesRule),
+    EquivalenceScenario("two-choices/hiding/1round", 12, 3, TwoChoicesRule,
+                        _hiding(3)),
+]
+
+
+@pytest.mark.parametrize("sc", ONE_ROUND_SCENARIOS, ids=lambda sc: sc.name)
+def test_one_round_occupancy_distribution_matches_exactly(sc: EquivalenceScenario):
+    assert_one_round_flows_match(sc, trials=3000, seed_base=50_000)

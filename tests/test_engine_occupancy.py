@@ -114,9 +114,15 @@ class TestTransitionMatrices:
             occupancy_transition_matrix(MedianRule(), counts)
 
     def test_unsupported_rule_raises(self):
-        rule = get_rule("three-majority")
+        # the mean rule does not preserve values and has no count-space kernel
+        rule = get_rule("mean")
         with pytest.raises(TypeError, match="occupancy"):
             occupancy_transition_matrix(rule, np.array([5, 5]))
+
+    @pytest.mark.parametrize("name", ["three-majority", "two-choices-majority"])
+    def test_majority_family_has_kernels(self, name):
+        Q = occupancy_transition_matrix(get_rule(name), np.array([5, 5]))
+        np.testing.assert_allclose(Q.sum(axis=1), 1.0)
 
     def test_custom_kernel_hook_is_used(self):
         class FrozenRule(MedianRule):
@@ -273,11 +279,57 @@ class TestOccupancyAdversaries:
         assert minorities.max() > 0       # value 0 shows up in the occupancy
         assert adv.ledger.total > 0       # and the writes were ledgered
 
-    def test_identity_tracking_adversary_rejected(self):
-        adv = StickyAdversary(budget=3, pinned_value=1)
+    def test_custom_identity_tracking_adversary_rejected(self):
+        # shipped strategies all have count-space forms now; a *custom*
+        # adversary without propose_counts must still fail fast
+        from repro.adversary.base import Adversary, Corruption
+
+        class IdentityOnly(Adversary):
+            def propose(self, values, round_index, admissible_values, rng):
+                return Corruption.empty()
+
         with pytest.raises(NotImplementedError, match="identities"):
             simulate_occupancy(Configuration.two_bins(128, minority=64),
-                               adversary=adv, seed=4, max_rounds=50)
+                               adversary=IdentityOnly(budget=3), seed=4,
+                               max_rounds=50)
+
+    def test_sticky_adversary_runs_via_victim_occupancy(self):
+        adv = StickyAdversary(budget=3, pinned_value=1)
+        res = simulate_occupancy(Configuration.two_bins(128, minority=64),
+                                 adversary=adv, seed=4, max_rounds=400)
+        assert res.reached_almost_stable
+        assert res.meta["budget_ledger_ok"] is True
+        # every round rewrites all min(T, n) victims, exactly like the
+        # vectorized enforcement ledger
+        assert adv.ledger.total == 3 * res.rounds_executed
+
+    def test_sticky_pins_a_minority_forever(self):
+        # with AFTER_SAMPLING timing the re-pinned victims are visible in
+        # every recorded round, so the round-boundary minority can never
+        # drop below the pinned reservoir
+        from repro.engine.trajectory import RecordLevel
+
+        adv = StickyAdversary(budget=5, pinned_value=0,
+                              timing=AdversaryTiming.AFTER_SAMPLING)
+        res = simulate_occupancy(Configuration.two_bins(200, minority=20),
+                                 adversary=adv, seed=6, max_rounds=40,
+                                 run_to_horizon=True,
+                                 record=RecordLevel.METRICS)
+        minorities = res.trajectory.minority_series()
+        assert np.all(minorities[1:] >= 5)
+        assert res.meta["budget_ledger_ok"] is True
+
+    def test_hiding_victim_occupancy_stays_in_sync(self):
+        from repro.adversary.strategies import HidingAdversary
+
+        adv = HidingAdversary(budget=4)
+        res = simulate_occupancy(Configuration.two_bins(256, minority=128),
+                                 adversary=adv, seed=7, max_rounds=200)
+        assert res.reached_almost_stable
+        # the tracked victim occupancy is a real subpopulation: non-negative
+        # and totalling the budget on the run's support
+        vic = adv.victim_counts(np.arange(2))
+        assert vic is not None and np.all(vic >= 0) and int(vic.sum()) == 4
 
     def test_corrupt_counts_conserves_population(self):
         adv = BalancingAdversary(budget=10)
@@ -300,6 +352,17 @@ class TestOccupancyAdversaries:
         assert res.criterion is crit
 
     def test_null_adversary_supports_counts(self):
+        from repro.adversary.base import Adversary, Corruption
+        from repro.adversary.strategies import HidingAdversary
+
         assert NullAdversary().supports_counts
         assert BalancingAdversary(budget=3).supports_counts
-        assert not StickyAdversary(budget=3).supports_counts
+        # identity-tracking strategies support counts via victim occupancy
+        assert StickyAdversary(budget=3).supports_counts
+        assert HidingAdversary(budget=3).supports_counts
+
+        class IdentityOnly(Adversary):
+            def propose(self, values, round_index, admissible_values, rng):
+                return Corruption.empty()
+
+        assert not IdentityOnly(budget=3).supports_counts

@@ -325,6 +325,87 @@ class TestCachedSweepRunner:
         assert all(len(k) == 64 for k in keys.values())
 
 
+class TestMajorityFamilyKeysAndReproducibility:
+    """Cell-key stability and execution determinism for the widened
+    rule × adversary support (majority-family kernels, victim-occupancy
+    adversaries): keys stay engine-independent, pinned against drift, and a
+    cell's results are bit-identical for the same seed whether it executes
+    serially, fused, or through the process pool."""
+
+    @staticmethod
+    def _cell(rule="three-majority", adversary="sticky",
+              engine="occupancy-fused", name=None) -> ExperimentConfig:
+        return ExperimentConfig(
+            name=name or f"{rule}+{adversary}", workload="blocks",
+            workload_params={"n": 256, "m": 4}, rule=rule,
+            adversary=adversary, adversary_budget=3, num_runs=4,
+            max_rounds=400, seed=21, engine=engine)
+
+    def test_keys_engine_independent_for_new_configs(self):
+        for rule in ("three-majority", "two-choices-majority"):
+            for adversary in ("sticky", "hiding"):
+                keys = {cell_key(self._cell(rule, adversary, engine=e))
+                        for e in ("vectorized", "occupancy", "occupancy-fused")}
+                assert len(keys) == 1, (rule, adversary)
+
+    def test_keys_distinct_across_rule_adversary_grid(self):
+        cells = [self._cell(rule, adversary)
+                 for rule in ("median", "three-majority", "two-choices-majority")
+                 for adversary in ("balancing", "sticky", "hiding")]
+        keys = {cell_key(c) for c in cells}
+        assert len(keys) == len(cells)
+
+    def test_golden_keys_pinned_against_drift(self):
+        # canonical hashes are the store's address space: a silent
+        # canonicalization change would orphan every stored cell, so the
+        # new configs' keys are pinned verbatim
+        golden = {
+            ("three-majority", "sticky"):
+                "cc174a77e1db23ce33a7b7e6d2f9a3f511d6afe79e74a634b22a8ee1315779ac",
+            ("three-majority", "hiding"):
+                "cb9c32b9f667c8326ccf77ad5b6de2e35acf732c6c8ba5516ff3411fc497e9f1",
+            ("two-choices-majority", "sticky"):
+                "50ea4a8245b7de626c6315dbef0c3548d4e11b863c578b4856612ad69d5b2ceb",
+            ("two-choices-majority", "hiding"):
+                "b7e87cebd5f6db27b289cfe4c4f27f1c1cec7458de63b21483fae330eecb0424",
+        }
+        for (rule, adversary), expected in golden.items():
+            assert cell_key(self._cell(rule, adversary)) == expected
+
+    @pytest.mark.parametrize("engine", ["occupancy", "occupancy-fused"])
+    def test_run_cell_deterministic_per_engine(self, engine):
+        from repro.experiments.runner import run_cell
+
+        a = run_cell(self._cell(engine=engine))
+        b = run_cell(self._cell(engine=engine))
+        assert a.extra["engine"] == engine  # supported: no fallback happened
+        assert a.rounds == b.rounds
+        assert a.mean_rounds == b.mean_rounds
+
+    def test_serial_and_pooled_sweeps_agree_bitwise(self):
+        sweep = SweepConfig(name="majority-mini")
+        for rule in ("three-majority", "two-choices-majority"):
+            sweep.add(self._cell(rule, "sticky"))
+        serial = run_sweep(sweep, max_workers=0)
+        pooled = run_sweep(sweep, max_workers=2)
+        for cs, cp in zip(serial.cells, pooled.cells):
+            assert cs.config.name == cp.config.name
+            assert cs.num_runs == cp.num_runs
+            assert cs.mean_rounds == cp.mean_rounds
+            assert cs.convergence_fraction == cp.convergence_fraction
+            assert cs.extra["engine"] == cp.extra["engine"] == "occupancy-fused"
+
+    def test_store_round_trip_for_new_configs(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cfg = self._cell()
+        store.put(cfg, _result(cfg))
+        assert store.contains(cfg)
+        # retargeting the engine keeps the cache hit (cross-engine key)
+        from dataclasses import replace
+
+        assert store.contains(replace(cfg, engine="vectorized"))
+
+
 class TestArtifacts:
     def test_build_provenance_shape(self):
         prov = build_provenance({"cell": "abc"}, extra={"note": "x"})
