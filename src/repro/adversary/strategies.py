@@ -56,8 +56,8 @@ __all__ = [
 
 
 #: numpy's ``multivariate_hypergeometric`` (and the scalar draw) refuse
-#: populations of 10⁹ and beyond; above this total the victims are drawn
-#: sequentially instead.
+#: populations of 10⁹ and beyond; at or above this total the victims are
+#: drawn as distinct uniform positions instead (see ``_victims_per_bin``).
 _MVH_POPULATION_LIMIT = 1_000_000_000
 
 
@@ -70,9 +70,13 @@ def _victims_per_bin(counts: np.ndarray, size: int,
     the bin loads — the count-space twin of ``rng.choice(n, T, replace=False)``.
 
     numpy's sampler refuses populations ≥ 10⁹ (exactly the regime the
-    occupancy engine exists for), so beyond that the victims are drawn one
-    at a time — each uniform over the remaining population, which is the
-    same law — at O(size·m) cost; ``size ≤ T`` is tiny next to n there.
+    occupancy engine exists for).  Beyond that the victims are sampled as
+    distinct uniform *positions* in ``[0, total)`` — all ``size`` uniforms
+    drawn at once, collisions rejected and redrawn (a uniformly random
+    ``size``-subset, i.e. the identical law; with ``size ≤ T ≪ n`` the
+    expected number of redraw passes is ~1) — and grouped with a single
+    ``searchsorted`` over the cumulative loads, instead of an O(size·m)
+    per-victim loop recomputing the cumsum.
     """
     counts = np.asarray(counts, dtype=np.int64)
     total = int(counts.sum())
@@ -81,16 +85,12 @@ def _victims_per_bin(counts: np.ndarray, size: int,
         return np.zeros(counts.shape[0], dtype=np.int64)
     if total < _MVH_POPULATION_LIMIT:
         return rng.multivariate_hypergeometric(counts, size).astype(np.int64)
-    out = np.zeros(counts.shape[0], dtype=np.int64)
-    remaining = counts.copy()
-    left = total
-    for _ in range(size):
-        u = int(rng.integers(0, left))
-        i = int(np.searchsorted(np.cumsum(remaining), u, side="right"))
-        out[i] += 1
-        remaining[i] -= 1
-        left -= 1
-    return out
+    positions = np.unique(rng.integers(0, total, size=size))
+    while positions.shape[0] < size:
+        extra = rng.integers(0, total, size=size - positions.shape[0])
+        positions = np.unique(np.concatenate([positions, extra]))
+    bins = np.searchsorted(np.cumsum(counts), positions, side="right")
+    return np.bincount(bins, minlength=counts.shape[0]).astype(np.int64)
 
 
 class BalancingAdversary(Adversary):

@@ -18,6 +18,19 @@ Subcommands
     ignores the store for this invocation; ``--rerun`` recomputes every cell
     and overwrites its store entry (use after semantics-changing code edits).
 
+    Execution backends (``--backend {serial,pool,shard}``, with ``--workers
+    K``): ``serial`` runs misses in-process, ``pool`` uses the process pool,
+    and ``shard`` launches K worker processes that *lease* pending cells
+    from the store (atomic lease files, stale-lease reclaim), so several
+    invocations — even from different terminals, even with overlapping
+    sweeps — cooperate on one store and compute every cell exactly once.
+    ``--worker`` attaches this process as one extra worker to a live store
+    instead of coordinating its own fleet; ``--from-store`` replays the
+    sweep offline (zero recomputation — a missing cell is an error, exit 1).
+    A cell that fails is reported per-cell (label + error, exit code 3)
+    instead of aborting the sweep.  ``--sidecar-at R`` stores per-run rounds
+    of large cells (≥ R runs) as NPZ sidecars next to the JSON payloads.
+
 ``store``
     Inspect and maintain a result store: ``ls`` (table of cached cells),
     ``info`` (aggregate facts or one full record), ``gc`` (validate payloads,
@@ -42,6 +55,7 @@ import numpy as np
 from repro.adversary.strategies import ADVERSARY_REGISTRY, make_adversary
 from repro.core.rules import available_rules, get_rule
 from repro.engine.batch import BATCH_ENGINES, ENGINES
+from repro.store.backends import BACKEND_NAMES
 from repro.experiments import figures
 from repro.experiments.reporting import format_report
 from repro.experiments.workloads import WORKLOAD_REGISTRY, make_workload_for_engine
@@ -49,17 +63,8 @@ from repro.io.tables import render_kv
 
 __all__ = ["main", "build_parser"]
 
-_SWEEPS = {
-    "theorem1": figures.reproduce_theorem1,
-    "theorem2": figures.reproduce_theorem2,
-    "theorem3": figures.reproduce_theorem3,
-    "theorem4": figures.reproduce_theorem4,
-    "theorem10": figures.reproduce_theorem10,
-    "figure1": figures.reproduce_figure1,
-    "minrule": figures.reproduce_minimum_rule_attack,
-    "adversary-threshold": figures.reproduce_adversary_threshold,
-    "rule-comparison": figures.reproduce_rule_comparison,
-}
+#: Named sweeps, shared with :func:`repro.experiments.figures.regenerate_from_store`.
+_SWEEPS = figures.FIGURE_REGISTRY
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,6 +114,27 @@ def build_parser() -> argparse.ArgumentParser:
                           "everything, write nothing)")
     swp.add_argument("--rerun", action="store_true",
                      help="recompute every cell and overwrite its store entry")
+    swp.add_argument("--backend", default=None,
+                     choices=sorted(BACKEND_NAMES),
+                     help="how missing cells execute (requires --store): "
+                          "'serial' in-process, 'pool' process pool, 'shard' "
+                          "lease-based multi-worker processes that dedup "
+                          "through the store (safe to launch concurrently)")
+    swp.add_argument("--workers", type=int, default=None,
+                     help="worker count for --backend pool/shard "
+                          "(default: cpu_count - 1)")
+    swp.add_argument("--worker", action="store_true",
+                     help="attach this process as one extra shard worker to "
+                          "a live store (no fleet of its own; requires "
+                          "--store)")
+    swp.add_argument("--from-store", action="store_true",
+                     help="offline replay: assemble the report purely from "
+                          "cached cells, never simulating (a missing cell "
+                          "is an error; requires --store)")
+    swp.add_argument("--sidecar-at", type=int, default=None, metavar="R",
+                     help="store per-run rounds as a compressed NPZ sidecar "
+                          "for cells with at least R runs (JSON payload "
+                          "stays canonical and references the sidecar)")
 
     fig = sub.add_parser("figure1", help="regenerate the paper's Figure 1 table")
     fig.add_argument("--scale", type=float, default=1.0)
@@ -151,7 +177,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.store import ArtifactRegistry, CachedSweepRunner, ResultStore
+    from repro.store import (
+        ArtifactRegistry,
+        CachedSweepRunner,
+        ResultStore,
+        ShardBackend,
+        StoreMissError,
+    )
 
     func = _SWEEPS[args.name]
     kwargs = {"scale": args.scale}
@@ -160,14 +192,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.runs is not None:
         kwargs["num_runs"] = args.runs
 
+    store_features = [flag for flag, on in
+                      (("--backend", args.backend is not None),
+                       ("--worker", args.worker),
+                       ("--from-store", args.from_store),
+                       ("--sidecar-at", args.sidecar_at is not None)) if on]
+    if store_features and (args.store is None or args.no_cache):
+        print(f"error: {', '.join(store_features)} require(s) --store "
+              f"without --no-cache", file=sys.stderr)
+        return 2
+
     runner = None
     store = None
     if args.store is not None and not args.no_cache:
-        store = ResultStore(args.store)
-        runner = CachedSweepRunner(store, rerun=args.rerun)
+        store = ResultStore(args.store, rounds_sidecar_at=args.sidecar_at)
+        backend = args.backend
+        if args.worker:
+            # attach mode: this process becomes one extra shard worker on
+            # the live store — no child fleet of its own
+            backend = ShardBackend(workers=0)
+        runner = CachedSweepRunner(
+            store, rerun=args.rerun, backend=backend,
+            max_workers=args.workers if args.workers is not None
+            else (0 if backend is None else None),
+            offline=args.from_store)
         kwargs["runner"] = runner
 
-    figure = func(**kwargs)
+    try:
+        figure = func(**kwargs)
+    except StoreMissError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(figure.table)
     if figure.fits:
         print("\nScaling fits (best first):")
@@ -192,6 +247,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ArtifactRegistry(store.root / "artifacts.json").register(
                 args.csv, kind="sweep-report-csv", cell_keys=cell_keys,
                 extra={"sweep": args.name})
+    failures = figure.report.meta.get("failures", [])
+    if failures:
+        print(f"\n{len(failures)} cell(s) failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure['cell']}: {failure['error']}", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -234,7 +295,9 @@ def _cmd_store(args: argparse.Namespace) -> int:
         counts = store.gc(drop_schema_mismatch=args.drop_schema_mismatch,
                           drop_quarantine=args.drop_quarantine)
         print(f"gc: kept={counts['kept']} quarantined={counts['quarantined']} "
-              f"dropped={counts['dropped']}")
+              f"dropped={counts['dropped']} "
+              f"orphan_sidecars={counts['orphan_sidecars']} "
+              f"dangling_artifacts={counts['dangling_artifacts']}")
         return 0
     return 1
 

@@ -28,8 +28,8 @@ from repro.core.rules import get_rule
 from repro.core.state import Configuration
 from repro.engine.batch import BatchResult, run_batch
 
-__all__ = ["WorkItem", "execute_work_items", "iter_work_item_results",
-           "recommended_workers"]
+__all__ = ["WorkItem", "execute_work_items", "format_cell_error",
+           "iter_work_item_results", "recommended_workers"]
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,16 @@ class WorkItem:
                      self.adversary_budget, self.num_runs, self.seed, self.engine))
 
 
+def format_cell_error(exc: BaseException) -> str:
+    """The canonical per-cell failure string: exception type + message.
+
+    Deliberately excludes the traceback, which differs between in-process and
+    pooled execution — the same poisoned cell must produce the same string on
+    every backend so failure-carrying reports stay backend-equal.
+    """
+    return f"{type(exc).__name__}: {exc}"
+
+
 def _execute_one(item: WorkItem) -> Dict[str, Any]:
     """Worker entry point: run one cell and return a flat summary dict."""
     # imported here so the worker process resolves registries on its side
@@ -102,11 +112,31 @@ def _execute_one(item: WorkItem) -> Dict[str, Any]:
     summary = batch.summary()
     summary["label"] = item.label
     summary["engine"] = engine   # resolved engine, for result provenance
+    summary["rule"] = item.rule
     summary["workload"] = item.workload
     summary["adversary"] = item.adversary
     summary["adversary_budget"] = item.adversary_budget
+    # per-run rounds travel back too, so pooled cells summarize identically
+    # to serial run_cell() ones (and the store caches the same record shape
+    # regardless of which backend computed it)
+    summary["rounds"] = [float(r) for r in batch.rounds]
     summary.update({f"param_{k}": v for k, v in item.workload_params.items()})
     return summary
+
+
+def _execute_one_captured(item: WorkItem) -> Dict[str, Any]:
+    """Like :func:`_execute_one`, but a raising cell returns an error summary.
+
+    Capturing inside the worker keeps one poisoned cell from aborting the
+    whole pool (``pool.map`` re-raises the first worker exception at the
+    barrier, silently discarding every other result).  Pool-infrastructure
+    failures (``BrokenProcessPool`` etc.) are *not* captured here — they
+    surface at the submission site, where the sandbox fallback handles them.
+    """
+    try:
+        return _execute_one(item)
+    except Exception as exc:   # noqa: BLE001 — per-cell isolation is the point
+        return {"label": item.label, "error": format_cell_error(exc)}
 
 
 def recommended_workers() -> int:
@@ -131,21 +161,23 @@ def execute_work_items(
     Returns
     -------
     list of dict
-        One flat summary per item, in the same order as ``items``.
+        One flat summary per item, in the same order as ``items``.  A cell
+        that raised carries ``{"label", "error"}`` instead of metrics, so a
+        single poisoned cell never silently swallows the rest of the sweep.
     """
     items = list(items)
     if not items:
         return []
     workers = recommended_workers() if max_workers is None else int(max_workers)
     if workers <= 1 or len(items) == 1:
-        return [_execute_one(item) for item in items]
+        return [_execute_one_captured(item) for item in items]
 
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_execute_one, items))
+            return list(pool.map(_execute_one_captured, items))
     except (OSError, ValueError, RuntimeError):
         # Sandboxed or fork-restricted environments: degrade gracefully.
-        return [_execute_one(item) for item in items]
+        return [_execute_one_captured(item) for item in items]
 
 
 def iter_work_item_results(
@@ -159,7 +191,8 @@ def iter_work_item_results(
     can persist each cell the moment it finishes — the property
     :class:`repro.store.CachedSweepRunner` needs for interrupt-resume on the
     pooled path.  Worker/fallback conventions match
-    :func:`execute_work_items`; items whose result was already yielded are
+    :func:`execute_work_items` (including per-cell ``{"label", "error"}``
+    summaries for raising cells); items whose result was already yielded are
     never re-executed by the serial fallback.
     """
     items = list(items)
@@ -170,7 +203,7 @@ def iter_work_item_results(
     if workers > 1 and len(items) > 1:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(_execute_one, item): i
+                futures = {pool.submit(_execute_one_captured, item): i
                            for i, item in enumerate(items)}
                 for future in as_completed(futures):
                     index = futures[future]
@@ -181,4 +214,4 @@ def iter_work_item_results(
             pass   # sandboxed/fork-restricted: fall through to serial
     for i, item in enumerate(items):
         if i not in done:
-            yield i, _execute_one(item)
+            yield i, _execute_one_captured(item)

@@ -42,6 +42,8 @@ from repro.experiments.sweep import (
 __all__ = [
     "FigureResult",
     "SweepRunner",
+    "FIGURE_REGISTRY",
+    "regenerate_from_store",
     "reproduce_figure1",
     "reproduce_theorem1",
     "reproduce_theorem2",
@@ -212,3 +214,40 @@ def reproduce_rule_comparison(scale: float = 1.0, num_runs: int = 6, seed: int =
     report = _execute(rule_comparison_sweep(n=n, num_runs=num_runs, seed=seed,
                                             engine=engine), runner)
     return FigureResult(report=report, fits=[], table=format_report(report))
+
+
+#: Name → reproduce function for every paper artifact this module can
+#: regenerate.  The CLI ``sweep`` subcommand and the store-backed
+#: :func:`regenerate_from_store` both dispatch through this registry.
+FIGURE_REGISTRY = {
+    "theorem1": reproduce_theorem1,
+    "theorem2": reproduce_theorem2,
+    "theorem3": reproduce_theorem3,
+    "theorem4": reproduce_theorem4,
+    "theorem10": reproduce_theorem10,
+    "figure1": reproduce_figure1,
+    "minrule": reproduce_minimum_rule_attack,
+    "adversary-threshold": reproduce_adversary_threshold,
+    "rule-comparison": reproduce_rule_comparison,
+}
+
+
+def regenerate_from_store(figure: str, store, **kwargs) -> FigureResult:
+    """Regenerate a figure/table purely from cached cells — zero simulation.
+
+    ``store`` is a :class:`repro.store.ResultStore` (or its directory); the
+    reproduce function runs with an *offline* cached runner, so every cell
+    must already be in the store — a miss raises
+    :class:`repro.store.StoreMissError` instead of silently recomputing.
+    Remaining ``kwargs`` (``scale``, ``num_runs``, ``seed``, ...) must match
+    the run that populated the store, since they shape the swept cells.
+    """
+    from repro.store import CachedSweepRunner, ResultStore
+
+    if figure not in FIGURE_REGISTRY:
+        raise KeyError(f"unknown figure {figure!r}; "
+                       f"available: {sorted(FIGURE_REGISTRY)}")
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    runner = CachedSweepRunner(store, offline=True)
+    return FIGURE_REGISTRY[figure](runner=runner, **kwargs)

@@ -39,7 +39,11 @@ from repro.adversary.strategies import make_adversary
 from repro.core.rules import get_rule
 from repro.core.state import Configuration
 from repro.engine.batch import fused_occupancy_cell_supported, run_batch
-from repro.engine.parallel import WorkItem, execute_work_items
+from repro.engine.parallel import (
+    WorkItem,
+    execute_work_items,
+    format_cell_error,
+)
 from repro.experiments.config import ExperimentConfig, SweepConfig
 from repro.experiments.results import CellResult, ExperimentReport
 from repro.experiments.workloads import (
@@ -48,12 +52,22 @@ from repro.experiments.workloads import (
 )
 
 __all__ = [
+    "EXECUTION_STATS",
     "resolve_cell_engine",
     "run_cell",
     "run_sweep",
     "work_item_for_cell",
     "cell_result_from_pool_summary",
+    "failed_cell_result",
+    "attach_failures",
 ]
+
+#: Per-process count of in-process cell executions (``run_cell`` calls).
+#: The zero-recompute assertions (warm figure regeneration, offline store
+#: replay) read this to prove no simulation happened; pooled/sharded child
+#: processes keep their own counters, which is exactly the right scope for
+#: "this process computed nothing".
+EXECUTION_STATS = {"run_cell_calls": 0}
 
 
 def resolve_cell_engine(rule: str, adversary: str, engine: str,
@@ -81,6 +95,7 @@ def resolve_cell_engine(rule: str, adversary: str, engine: str,
 
 def run_cell(config: ExperimentConfig) -> CellResult:
     """Execute one experiment cell in-process and summarize it."""
+    EXECUTION_STATS["run_cell_calls"] += 1
     rule = get_rule(config.rule, **config.rule_params)
     engine = resolve_cell_engine(config.rule, config.adversary, config.engine,
                                  config.workload, config.workload_params)
@@ -134,15 +149,55 @@ def work_item_for_cell(cell: ExperimentConfig) -> WorkItem:
     )
 
 
+def failed_cell_result(cell: ExperimentConfig, error: str) -> CellResult:
+    """The canonical record of a cell whose execution raised.
+
+    The metrics use ``inf`` (the existing "did not converge" value — and,
+    unlike NaN, equal to itself) so failure-carrying reports compare equal
+    across backends; the error string (exception type + message, see
+    :func:`repro.engine.parallel.format_cell_error`) rides in ``extra``.
+    """
+    return CellResult(
+        config=cell,
+        num_runs=0,
+        convergence_fraction=0.0,
+        mean_rounds=float("inf"),
+        median_rounds=float("inf"),
+        p90_rounds=float("inf"),
+        max_rounds=float("inf"),
+        rounds=[],
+        extra={"failed": True, "error": error},
+    )
+
+
+def attach_failures(report: ExperimentReport) -> List[Dict[str, str]]:
+    """Collect failed cells into ``report.meta["failures"]`` (and return them).
+
+    The meta entry is only written when at least one cell failed, so clean
+    reports keep their historical shape (and their equality with stored
+    ones).  Entry order follows cell order, which every backend preserves.
+    """
+    failures = [{"cell": c.config.name, "error": str(c.extra.get("error", ""))}
+                for c in report.cells if c.extra.get("failed")]
+    if failures:
+        report.meta["failures"] = failures
+    return failures
+
+
 def cell_result_from_pool_summary(cell: ExperimentConfig,
                                   summary: Dict[str, Any]) -> CellResult:
     """Build a :class:`CellResult` from a pooled worker's flat summary.
 
-    The pooled path ships aggregate statistics only (no per-run rounds), so
-    ``rounds`` is empty; the resolved engine travels back in the summary for
-    provenance.
+    Summaries carry the per-run rounds and the resolved engine, so the
+    result is identical to what a serial :func:`run_cell` produces for the
+    same cell — the property that keeps reports (and store payloads) equal
+    regardless of which execution backend computed them.  An error summary
+    (``{"label", "error"}``, from a cell that raised in its worker) becomes
+    the canonical :func:`failed_cell_result`.
     """
-    extra: Dict[str, Any] = {"parallel": True}
+    if "error" in summary:
+        return failed_cell_result(cell, str(summary["error"]))
+    extra: Dict[str, Any] = {"rule": cell.rule, "adversary": cell.adversary}
     if "engine" in summary:
         extra["engine"] = summary["engine"]
     return CellResult(
@@ -153,7 +208,7 @@ def cell_result_from_pool_summary(cell: ExperimentConfig,
         median_rounds=float(summary["median_rounds"]),
         p90_rounds=float(summary["p90_rounds"]),
         max_rounds=float(summary["max_rounds"]),
-        rounds=[],
+        rounds=[float(r) for r in summary.get("rounds", [])],
         extra=extra,
     )
 
@@ -173,19 +228,27 @@ def run_sweep(sweep: SweepConfig, max_workers: Optional[int] = 0) -> ExperimentR
     Returns
     -------
     ExperimentReport
+        A cell that raises during execution is *not* fatal on either path: it
+        becomes a :func:`failed_cell_result` in its sweep position and is
+        listed in ``report.meta["failures"]`` (label + error), so a poisoned
+        cell can never abort a sweep or silently vanish from its report.
     """
     report = ExperimentReport(name=sweep.name, description=sweep.description)
 
     if max_workers in (0, 1):
         for cell in sweep:
-            report.add(run_cell(cell))
+            try:
+                report.add(run_cell(cell))
+            except Exception as exc:   # noqa: BLE001 — per-cell isolation
+                report.add(failed_cell_result(cell, format_cell_error(exc)))
+        attach_failures(report)
         return report
 
-    # Parallel path: translate cells to picklable WorkItems.  The pooled path
-    # returns flat summaries (not per-run rounds); cells needing per-run data
-    # should be run serially.
+    # Parallel path: translate cells to picklable WorkItems; summaries carry
+    # per-run rounds, so pooled reports equal serial ones cell for cell.
     items = [work_item_for_cell(cell) for cell in sweep]
     summaries = execute_work_items(items, max_workers=max_workers)
     for cell, summary in zip(sweep, summaries):
         report.add(cell_result_from_pool_summary(cell, summary))
+    attach_failures(report)
     return report

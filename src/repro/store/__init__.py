@@ -3,18 +3,41 @@
 The persistence substrate for sweep traffic: cells are keyed by a canonical,
 engine-independent hash of their :class:`~repro.experiments.config.ExperimentConfig`
 (:mod:`repro.store.hashing`), executed results live in a directory-backed
-:class:`ResultStore` (:mod:`repro.store.store`), sweeps run through the
-resumable :class:`CachedSweepRunner` (:mod:`repro.store.runner`), and derived
-outputs (benchmarks, figures, saved reports) record their input keys and git
-revision via :mod:`repro.store.artifacts`.
+:class:`ResultStore` (:mod:`repro.store.store`, with optional NPZ rounds
+sidecars for large R), sweeps run through the resumable
+:class:`CachedSweepRunner` (:mod:`repro.store.runner`) on a pluggable
+execution backend (:mod:`repro.store.backends`: ``serial``, ``pool``, or the
+lease-based multi-worker ``shard`` backend of :mod:`repro.store.shard`), and
+derived outputs (benchmarks, figures, saved reports) record their input keys
+and git revision via :mod:`repro.store.artifacts`.
 
-CLI surface: ``repro-consensus sweep --store DIR [--no-cache|--rerun]`` and
-``repro-consensus store {ls,info,gc}``.
+CLI surface: ``repro-consensus sweep --store DIR [--no-cache|--rerun]
+[--backend {serial,pool,shard}] [--workers K] [--worker] [--from-store]``
+and ``repro-consensus store {ls,info,gc}``.
 """
 
 from repro.store.artifacts import ArtifactRegistry, build_provenance, git_sha
+from repro.store.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    PoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from repro.store.hashing import canonical_cell_dict, cell_key, short_key
-from repro.store.runner import CachedSweepRunner, CacheStats, run_sweep_cached
+from repro.store.runner import (
+    CachedSweepRunner,
+    CacheStats,
+    StoreMissError,
+    run_sweep_cached,
+)
+from repro.store.shard import (
+    LeaseManager,
+    ShardBackend,
+    ShardWorker,
+    read_execution_log,
+    run_sweep_sharded,
+)
 from repro.store.store import STORE_SCHEMA_VERSION, ResultStore, StoreRecord
 
 __all__ = [
@@ -26,7 +49,18 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "CachedSweepRunner",
     "CacheStats",
+    "StoreMissError",
     "run_sweep_cached",
+    "ExecutionBackend",
+    "SerialBackend",
+    "PoolBackend",
+    "ShardBackend",
+    "ShardWorker",
+    "LeaseManager",
+    "read_execution_log",
+    "run_sweep_sharded",
+    "resolve_backend",
+    "BACKEND_NAMES",
     "ArtifactRegistry",
     "build_provenance",
     "git_sha",

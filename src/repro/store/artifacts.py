@@ -125,10 +125,49 @@ class ArtifactRegistry:
         }
         records = [r for r in self.records() if r.get("path") != record["path"]]
         records.append(record)
+        self._write(records)
+        return record
+
+    def _write(self, records: List[Dict[str, Any]]) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema": 1, "artifacts": records}
         tmp = self.path.with_name(self.path.name + ".tmp")
         tmp.write_text(json.dumps(to_jsonable(payload), indent=2,
                                   allow_nan=False) + "\n")
         os.replace(tmp, self.path)
-        return record
+
+    @staticmethod
+    def _record_cell_keys(record: Mapping[str, Any]) -> List[str]:
+        keys = record.get("provenance", {}).get("cell_keys", {})
+        return list(keys.values()) if isinstance(keys, Mapping) else list(keys)
+
+    def flag_dangling(self, valid_keys: Iterable[str]) -> int:
+        """Flag records whose input cells are gone; return how many dangle.
+
+        ``repro-consensus store gc`` calls this after validating payloads: an
+        artifact derived from cells that were since dropped or quarantined
+        can no longer be traced back to live data, so its ledger entry gains
+        a ``dangling_cell_keys`` list (the missing keys).  The flag is
+        recomputed on every pass — an entry whose cells come back (e.g. the
+        sweep was re-run) is unflagged again.  Flagging is deliberately
+        non-destructive: the record itself still documents what the artifact
+        *was* derived from.
+        """
+        valid = set(valid_keys)
+        records = self.records()
+        flagged = 0
+        changed = False
+        for record in records:
+            dangling = sorted(k for k in self._record_cell_keys(record)
+                              if k not in valid)
+            if dangling:
+                flagged += 1
+                if record.get("dangling_cell_keys") != dangling:
+                    record["dangling_cell_keys"] = dangling
+                    changed = True
+            elif "dangling_cell_keys" in record:
+                del record["dangling_cell_keys"]
+                changed = True
+        if changed:
+            self._write(records)
+        return flagged

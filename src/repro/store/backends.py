@@ -1,0 +1,149 @@
+"""Pluggable execution backends for store-routed sweeps.
+
+:class:`~repro.store.runner.CachedSweepRunner` partitions a sweep into cache
+hits and misses; *how* the misses execute is delegated to an
+:class:`ExecutionBackend`:
+
+``serial`` (:class:`SerialBackend`)
+    In-process :func:`~repro.experiments.runner.run_cell`, one cell at a
+    time.  Deterministic and test-friendly; each cell is persisted the
+    moment it completes.
+
+``pool`` (:class:`PoolBackend`)
+    The :mod:`repro.engine.parallel` process pool: misses become picklable
+    WorkItems, results are consumed (and persisted) in completion order.
+
+``shard`` (:class:`~repro.store.shard.ShardBackend`)
+    Multi-worker *sharded* execution: independent worker processes lease
+    pending cells straight from the store (atomic lease files keyed by the
+    canonical cell hash), so concurrent workers — even ones launched from
+    different terminals with overlapping sweeps — compute every cell exactly
+    once and any worker can die and be replaced mid-sweep.  See
+    :mod:`repro.store.shard`.
+
+Every backend has the same contract: execute the missing cells of a sweep,
+persist each one through the runner as it completes, and return the fresh
+results by sweep position.  A cell that raises is returned as the canonical
+:func:`~repro.experiments.runner.failed_cell_result` (and is *not*
+persisted), so a poisoned cell surfaces per-cell in the report instead of
+aborting the sweep or silently vanishing — identically on every backend.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Union
+
+from repro.engine.parallel import format_cell_error, iter_work_item_results
+from repro.experiments.config import SweepConfig
+from repro.experiments.results import CellResult
+from repro.experiments.runner import (
+    failed_cell_result,
+    run_cell,
+    work_item_for_cell,
+    cell_result_from_pool_summary,
+)
+
+if TYPE_CHECKING:   # pragma: no cover — typing only, avoids an import cycle
+    from repro.store.runner import CachedSweepRunner
+
+__all__ = ["ExecutionBackend", "SerialBackend", "PoolBackend",
+           "resolve_backend", "BACKEND_NAMES"]
+
+
+class ExecutionBackend(Protocol):
+    """The contract every miss-execution strategy implements.
+
+    ``execute`` runs the cells of ``sweep`` at positions ``misses``,
+    persists each successful cell through ``runner.persist_fresh`` as it
+    completes (so interrupted sweeps resume), and returns ``{position:
+    CellResult}`` covering every miss — failed cells as
+    :func:`~repro.experiments.runner.failed_cell_result`, never persisted.
+    """
+
+    name: str
+
+    def execute(self, sweep: SweepConfig, misses: List[int],
+                runner: "CachedSweepRunner") -> Dict[int, CellResult]: ...
+
+
+class SerialBackend:
+    """Execute misses in-process, one cell at a time."""
+
+    name = "serial"
+
+    def execute(self, sweep: SweepConfig, misses: List[int],
+                runner: "CachedSweepRunner") -> Dict[int, CellResult]:
+        fresh: Dict[int, CellResult] = {}
+        for i in misses:
+            cell = sweep.cells[i]
+            t0 = time.perf_counter()
+            try:
+                result = run_cell(cell)
+            except Exception as exc:   # noqa: BLE001 — per-cell isolation
+                fresh[i] = failed_cell_result(cell, format_cell_error(exc))
+                continue
+            runner.persist_fresh(cell, result,
+                                 elapsed=time.perf_counter() - t0)
+            fresh[i] = result
+        return fresh
+
+
+class PoolBackend:
+    """Execute misses on the :mod:`repro.engine.parallel` process pool.
+
+    Results are consumed in completion order, so each cell is persisted the
+    moment its worker finishes — the interrupt-resume property — and a cell
+    that raises in its worker comes back as an error summary, not an abort.
+    """
+
+    name = "pool"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers
+
+    def execute(self, sweep: SweepConfig, misses: List[int],
+                runner: "CachedSweepRunner") -> Dict[int, CellResult]:
+        fresh: Dict[int, CellResult] = {}
+        items = [work_item_for_cell(sweep.cells[i]) for i in misses]
+        for idx, summary in iter_work_item_results(
+                items, max_workers=self.max_workers):
+            i = misses[idx]
+            cell = sweep.cells[i]
+            result = cell_result_from_pool_summary(cell, summary)
+            if not result.extra.get("failed"):
+                runner.persist_fresh(cell, result, elapsed=None)
+            fresh[i] = result
+        return fresh
+
+
+#: CLI-facing backend names (see :func:`resolve_backend`).
+BACKEND_NAMES = ("serial", "pool", "shard")
+
+
+def resolve_backend(backend: Union[str, ExecutionBackend, None],
+                    max_workers: Optional[int] = 0) -> ExecutionBackend:
+    """Turn a backend spec (name, instance or ``None``) into a backend.
+
+    ``None`` keeps the historical ``max_workers`` convention of
+    :func:`~repro.experiments.runner.run_sweep`: ``0``/``1`` → serial,
+    ``None``/>1 → pool.  For ``"shard"``, ``max_workers`` is the number of
+    worker processes (``None`` → :func:`~repro.engine.parallel.recommended_workers`,
+    ``0`` → run the worker loop in the calling process — the ``--worker``
+    attach mode).
+    """
+    if backend is None:
+        return SerialBackend() if max_workers in (0, 1) \
+            else PoolBackend(max_workers)
+    if not isinstance(backend, str):
+        return backend
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "pool":
+        return PoolBackend(max_workers)
+    if backend == "shard":
+        from repro.store.shard import ShardBackend
+
+        return ShardBackend(workers=max_workers)
+    raise ValueError(f"unknown execution backend {backend!r}; "
+                     f"available: {BACKEND_NAMES}")

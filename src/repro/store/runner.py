@@ -7,15 +7,17 @@ semantics with a hit/miss partition:
    engine- and label-independent);
 2. cells whose key already has a valid store record are *hits* and are not
    executed;
-3. the remaining *misses* run through the existing execution paths — serial
-   :func:`~repro.experiments.runner.run_cell` by default, or the process-pool
-   :class:`~repro.engine.parallel.WorkItem` path for ``max_workers > 1`` —
-   and each finished cell is persisted the moment it completes (the pooled
-   path consumes results in completion order via
-   :func:`~repro.engine.parallel.iter_work_item_results`), so a sweep killed
-   halfway resumes from the already-completed cells instead of restarting;
+3. the remaining *misses* run through a pluggable
+   :class:`~repro.store.backends.ExecutionBackend` — in-process ``serial``,
+   the ``pool`` of :mod:`repro.engine.parallel` WorkItems, or the multi-
+   process ``shard`` backend of :mod:`repro.store.shard` where independent
+   workers lease cells straight from the store.  Every backend persists each
+   finished cell the moment it completes, so a sweep killed halfway resumes
+   from the already-completed cells instead of restarting;
 4. the final :class:`~repro.experiments.results.ExperimentReport` is
-   assembled in sweep order from cached + fresh results.
+   assembled in sweep order from cached + fresh results.  A cell that raised
+   is included as the canonical failure record and listed in
+   ``report.meta["failures"]`` — identically on every backend.
 
 Cache-assembled cells reuse the *requesting* sweep's config, so re-running an
 identical sweep yields a report equal (``==``) to the cold run's; the config
@@ -23,30 +25,43 @@ the record was originally written under stays available in the store record's
 provenance.  Volatile execution facts (hit/miss counts, elapsed times) are
 deliberately kept out of ``report.meta`` for the same reason — read them from
 :attr:`CachedSweepRunner.last_stats`.
+
+``offline=True`` turns the runner into a zero-recompute replayer: a miss
+raises :class:`StoreMissError` instead of executing, which is how warm
+figure/table regeneration proves it simulated nothing (see
+``repro-consensus sweep --from-store``).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.engine.parallel import iter_work_item_results
 from repro.experiments.config import ExperimentConfig, SweepConfig
 from repro.experiments.results import CellResult, ExperimentReport
-from repro.experiments.runner import (
-    cell_result_from_pool_summary,
-    run_cell,
-    work_item_for_cell,
-)
+from repro.experiments.runner import attach_failures
 from repro.store.artifacts import build_provenance
+from repro.store.backends import ExecutionBackend, resolve_backend
 from repro.store.store import ResultStore, StoreRecord
 
-__all__ = ["CacheStats", "CachedSweepRunner", "run_sweep_cached"]
+__all__ = ["CacheStats", "CachedSweepRunner", "StoreMissError",
+           "run_sweep_cached"]
 
 #: Sentinel distinguishing "argument omitted" from an explicit ``None``
 #: (which, per the run_sweep convention, requests the default-size pool).
 _UNSET: object = object()
+
+
+class StoreMissError(LookupError):
+    """An offline (zero-recompute) run hit a cell the store does not hold."""
+
+    def __init__(self, missing: List[str]) -> None:
+        self.missing = list(missing)
+        preview = ", ".join(self.missing[:5])
+        more = f" (+{len(self.missing) - 5} more)" if len(self.missing) > 5 else ""
+        super().__init__(
+            f"offline run: {len(self.missing)} cell(s) not in the store: "
+            f"{preview}{more}; run the sweep with --store first")
 
 
 @dataclass
@@ -55,6 +70,7 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    failures: int = 0
     executed: List[str] = field(default_factory=list)   # keys actually run
 
     @property
@@ -62,7 +78,10 @@ class CacheStats:
         return self.hits + self.misses
 
     def summary(self) -> str:
-        return f"hits={self.hits} misses={self.misses}"
+        base = f"hits={self.hits} misses={self.misses}"
+        if self.failures:
+            base += f" failures={self.failures}"
+        return base
 
 
 class CachedSweepRunner:
@@ -80,14 +99,27 @@ class CachedSweepRunner:
     max_workers:
         Default worker count for :meth:`run` (same convention as
         :func:`~repro.experiments.runner.run_sweep`: ``0``/``1`` serial,
-        ``None``/>1 a process pool over the missing cells).
+        ``None``/>1 a process pool over the missing cells).  For the shard
+        backend this is the number of worker processes.
+    backend:
+        Miss-execution strategy: a name (``"serial"``, ``"pool"``,
+        ``"shard"``), an :class:`~repro.store.backends.ExecutionBackend`
+        instance, or ``None`` for the historical ``max_workers`` convention.
+    offline:
+        ``True`` forbids execution entirely: any miss raises
+        :class:`StoreMissError`.  The zero-recompute mode behind
+        ``sweep --from-store`` figure/table regeneration.
     """
 
     def __init__(self, store: ResultStore, rerun: bool = False,
-                 max_workers: Optional[int] = 0) -> None:
+                 max_workers: Optional[int] = 0,
+                 backend: Union[str, ExecutionBackend, None] = None,
+                 offline: bool = False) -> None:
         self.store = store
         self.rerun = rerun
         self.max_workers = max_workers
+        self.backend = backend
+        self.offline = offline
         self.last_stats = CacheStats()
 
     # ------------------------------------------------------------------ #
@@ -118,6 +150,8 @@ class CachedSweepRunner:
         ``max_workers`` follows the :func:`~repro.experiments.runner.run_sweep`
         convention (``0``/``1`` serial, ``None`` default-size pool, >1 pool of
         that size); when omitted, the runner's constructor default applies.
+        The execution backend is resolved from the constructor's ``backend``
+        (see :func:`repro.store.backends.resolve_backend`).
         """
         if max_workers is _UNSET:
             max_workers = self.max_workers
@@ -125,27 +159,11 @@ class CachedSweepRunner:
         self.last_stats = CacheStats(hits=len(hits), misses=len(misses))
 
         fresh: Dict[int, CellResult] = {}
-        if misses and max_workers in (0, 1):
-            for i in misses:
-                cell = sweep.cells[i]
-                t0 = time.perf_counter()
-                result = run_cell(cell)
-                elapsed = time.perf_counter() - t0
-                key = self._persist(cell, result, elapsed)
-                self.last_stats.executed.append(key)
-                fresh[i] = result
-        elif misses:
-            # completion-order consumption: each cell is persisted as soon as
-            # its worker finishes, preserving interrupt-resume under a pool
-            items = [work_item_for_cell(sweep.cells[i]) for i in misses]
-            for idx, summary in iter_work_item_results(items,
-                                                       max_workers=max_workers):
-                i = misses[idx]
-                cell = sweep.cells[i]
-                result = cell_result_from_pool_summary(cell, summary)
-                key = self._persist(cell, result, elapsed=None)
-                self.last_stats.executed.append(key)
-                fresh[i] = result
+        if misses and self.offline:
+            raise StoreMissError([sweep.cells[i].name for i in misses])
+        if misses:
+            backend = resolve_backend(self.backend, max_workers)
+            fresh = backend.execute(sweep, misses, self)
 
         report = ExperimentReport(name=sweep.name, description=sweep.description)
         keys: Dict[str, str] = {}
@@ -158,9 +176,17 @@ class CachedSweepRunner:
             report.add(result)
             keys[cell.name] = self.store.key_for(cell)
         report.meta["store"] = {"keys": keys, "schema": 1}
+        self.last_stats.failures = len(attach_failures(report))
         return report
 
     # ------------------------------------------------------------------ #
+    def persist_fresh(self, cell: ExperimentConfig, result: CellResult,
+                      elapsed: Optional[float]) -> str:
+        """Persist one freshly executed cell (backends call this per cell)."""
+        key = self._persist(cell, result, elapsed)
+        self.last_stats.executed.append(key)
+        return key
+
     def _persist(self, cell: ExperimentConfig, result: CellResult,
                  elapsed: Optional[float]) -> str:
         provenance = build_provenance(extra={
@@ -174,13 +200,16 @@ class CachedSweepRunner:
 
 def run_sweep_cached(sweep: SweepConfig, store: ResultStore | str,
                      rerun: bool = False,
-                     max_workers: Optional[int] = 0) -> ExperimentReport:
+                     max_workers: Optional[int] = 0,
+                     backend: Union[str, ExecutionBackend, None] = None,
+                     ) -> ExperimentReport:
     """One-shot convenience wrapper around :class:`CachedSweepRunner`.
 
     ``max_workers`` uses the :func:`~repro.experiments.runner.run_sweep`
-    convention, including ``None`` for a default-size process pool.
+    convention, including ``None`` for a default-size process pool;
+    ``backend`` picks the execution backend by name or instance.
     """
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
-    return CachedSweepRunner(store, rerun=rerun).run(sweep,
-                                                     max_workers=max_workers)
+    return CachedSweepRunner(store, rerun=rerun, backend=backend).run(
+        sweep, max_workers=max_workers)

@@ -1,0 +1,453 @@
+"""Sharded sweep execution: independent workers leasing cells from a store.
+
+The content-addressed cell key (:mod:`repro.store.hashing`) is the dedup
+point for distributed execution: any process that can see the store directory
+can pick up pending cells, and two workers can never compute the same cell
+concurrently because computing requires holding the cell's *lease*.
+
+Disk layout (inside a :class:`~repro.store.store.ResultStore` directory)::
+
+    <store_dir>/shard/
+        leases/<key>.json     # at most one per cell; see states below
+        executions.jsonl      # append-only log: one line per completed compute
+
+A lease file is created atomically (``O_CREAT | O_EXCL`` — exactly one
+winner per path) and carries::
+
+    {"key", "worker", "pid", "host", "acquired_at", "state": "running"}
+
+Lease lifecycle:
+
+* **acquire** → compute → persist payload → append execution log → **release**
+  (unlink).  Once the payload exists, the payload itself marks the cell done;
+  the lease only guards the in-flight window.
+* a cell that **raises** rewrites its lease to ``state: "failed"`` (with the
+  cell label and the canonical error string) instead of persisting a payload.
+  Other workers treat a failed lease as "done (failed)" — the cell is not
+  retried within the run, and every worker reports the same failure.  A new
+  coordinated run (:class:`ShardBackend`) clears failed leases for its cells
+  first, so failures are retryable across runs.
+* a worker that **dies** leaves a ``running`` lease behind.  Stale-lease
+  reclaim rules: a lease whose recorded host equals the local host is stale
+  iff its pid is no longer alive (checked with ``kill(pid, 0)`` — immediate
+  and deterministic); a lease from another host is stale once its file mtime
+  is older than ``stale_after`` seconds (so for cross-host stores,
+  ``stale_after`` must exceed the longest cell).  Reclaimers serialize on a
+  ``flock`` mutex (``shard/reclaim.lock``) and re-verify under it that the
+  on-disk lease is still the exact stale lease they observed before
+  unlinking it, so a concurrent reclaim + re-acquire can never be clobbered;
+  the cell then goes back to pending and the normal ``O_CREAT | O_EXCL``
+  acquire decides the new owner.
+
+Cells are executed by :func:`~repro.experiments.runner.run_cell` (full
+per-run rounds) and persisted with the same provenance as serial cached
+execution plus the worker identity, so a report assembled from a sharded run
+equals a cold serial run of the same sweep.
+
+``executions.jsonl`` is the store-level compute counter: exactly one line is
+appended per completed cell computation (after its payload is persisted), so
+"every cell computed exactly once" is directly checkable after any number of
+workers, crashes and restarts.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.engine.parallel import format_cell_error, recommended_workers
+from repro.experiments.config import ExperimentConfig, SweepConfig
+from repro.experiments.results import CellResult
+from repro.experiments.runner import failed_cell_result, run_cell
+from repro.store.artifacts import build_provenance
+from repro.store.store import ResultStore
+
+__all__ = ["LeaseManager", "ShardWorker", "ShardBackend",
+           "read_execution_log", "run_sweep_sharded", "worker_identity"]
+
+#: Default staleness horizon for leases from *other* hosts (seconds).  Same-
+#: host leases use pid liveness instead and ignore this value.
+DEFAULT_STALE_AFTER = 300.0
+
+#: Default sleep between passes while waiting on other workers' leases.
+DEFAULT_POLL_INTERVAL = 0.05
+
+
+def worker_identity() -> str:
+    """A unique worker id: ``host:pid:nonce`` (stable for the process)."""
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True   # exists but owned by someone else / unknown: assume live
+    return True
+
+
+class LeaseManager:
+    """Atomic per-cell lease files under ``<store>/shard/leases/``."""
+
+    def __init__(self, store_root: str | Path, worker: Optional[str] = None,
+                 stale_after: float = DEFAULT_STALE_AFTER) -> None:
+        self.root = Path(store_root) / "shard"
+        self.leases_dir = self.root / "leases"
+        self.log_path = self.root / "executions.jsonl"
+        self.worker = worker or worker_identity()
+        self.stale_after = float(stale_after)
+        self.leases_dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.leases_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    # lease lifecycle
+    # ------------------------------------------------------------------ #
+    def acquire(self, key: str) -> bool:
+        """Try to take the lease for ``key``; exactly one caller wins."""
+        payload = json.dumps({
+            "key": key,
+            "worker": self.worker,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "acquired_at": time.time(),
+            "state": "running",
+        })
+        try:
+            fd = os.open(self._path(key), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, payload.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    def release(self, key: str) -> None:
+        """Drop a lease this worker holds (after persisting, or on skip)."""
+        try:
+            self._path(key).unlink()
+        except FileNotFoundError:
+            pass   # reclaimed from under us; the payload still marks us done
+
+    def mark_failed(self, key: str, cell_name: str, error: str) -> None:
+        """Replace this worker's lease with a run-scoped failure marker."""
+        path = self._path(key)
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps({
+            "key": key,
+            "worker": self.worker,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "acquired_at": time.time(),
+            "state": "failed",
+            "cell": cell_name,
+            "error": error,
+        }))
+        os.replace(tmp, path)
+
+    def clear_failure(self, key: str) -> None:
+        """Remove a failed marker (coordinators do this to allow retries)."""
+        lease = self.peek(key)
+        if lease is not None and lease.get("state") == "failed":
+            try:
+                self._path(key).unlink()
+            except FileNotFoundError:
+                pass
+
+    def peek(self, key: str) -> Optional[Dict[str, Any]]:
+        """The current lease record for ``key``, or ``None``."""
+        path = self._path(key)
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, ValueError):
+            # half-written by a crashed acquire: treat as a stale running
+            # lease with no liveness info so age-based reclaim applies
+            return {"key": key, "state": "running", "pid": None, "host": None}
+
+    def is_stale(self, key: str, lease: Dict[str, Any]) -> bool:
+        """Whether a ``running`` lease's owner is gone (see module rules)."""
+        if lease.get("state") != "running":
+            return False
+        pid = lease.get("pid")
+        if lease.get("host") == socket.gethostname() and isinstance(pid, int):
+            return not _pid_alive(pid)
+        try:
+            age = time.time() - self._path(key).stat().st_mtime
+        except FileNotFoundError:
+            return False   # already gone — nothing to reclaim
+        return age > self.stale_after
+
+    @contextlib.contextmanager
+    def _reclaim_mutex(self):
+        """Serialize reclaimers via ``flock`` on ``shard/reclaim.lock``.
+
+        The critical section is tiny (re-read + unlink).  Where ``fcntl`` is
+        unavailable the reclaim degrades to best-effort (the re-verification
+        below still runs, just without mutual exclusion).
+        """
+        try:
+            import fcntl
+        except ImportError:   # pragma: no cover — non-POSIX fallback
+            yield
+            return
+        with open(self.root / "reclaim.lock", "w") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def reclaim(self, key: str, observed: Dict[str, Any]) -> bool:
+        """Remove a lease observed stale; at most one reclaimer succeeds.
+
+        Reclaimers serialize on a host-wide ``flock`` mutex and re-verify —
+        under the mutex — that the lease on disk is still the same stale
+        lease this worker observed (same owner, still ``running``, still
+        stale) before unlinking it.  A lease that was already reclaimed and
+        re-acquired by someone else therefore can never be deleted or
+        clobbered; the unlinked cell simply returns to pending, where the
+        normal ``O_CREAT | O_EXCL`` acquire decides the new owner.  (The
+        mutex is per filesystem-view; for cross-host stores on NFS-like
+        mounts the re-verification still guards correctness best-effort.)
+        """
+        path = self._path(key)
+        with self._reclaim_mutex():
+            current = self.peek(key)
+            if current is None or current.get("state") != "running":
+                return False   # already reclaimed, released, or failed
+            if current.get("worker") != observed.get("worker"):
+                return False   # a fresh lease took the path: not ours to touch
+            if not self.is_stale(key, current):
+                return False   # owner came back to life (or clock skew)
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                return False
+            return True
+
+    # ------------------------------------------------------------------ #
+    # execution log (store-level compute counter)
+    # ------------------------------------------------------------------ #
+    def log_execution(self, key: str, cell_name: str) -> None:
+        line = json.dumps({"key": key, "cell": cell_name,
+                           "worker": self.worker, "pid": os.getpid(),
+                           "at": time.time()}) + "\n"
+        # O_APPEND single small write: atomic on POSIX, no interleaving
+        with open(self.log_path, "a") as fh:
+            fh.write(line)
+
+
+def read_execution_log(store_root: str | Path) -> List[Dict[str, Any]]:
+    """All completed-compute records (one per executed cell, append order)."""
+    path = Path(store_root) / "shard" / "executions.jsonl"
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text().splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records
+
+
+class ShardWorker:
+    """One worker loop: lease pending cells of a sweep, compute, persist.
+
+    Any number of workers — in any mix of processes, launched at any time,
+    with identical or merely overlapping sweeps — can run against the same
+    store; the lease protocol guarantees each cell is computed once.  ``run``
+    returns only when every cell of *this worker's* sweep is resolved
+    (payload present or failure marker present), waiting on other workers'
+    in-flight leases when necessary, so its result set is always complete.
+    """
+
+    def __init__(self, store: ResultStore, worker: Optional[str] = None,
+                 stale_after: float = DEFAULT_STALE_AFTER,
+                 poll_interval: float = DEFAULT_POLL_INTERVAL) -> None:
+        self.store = store
+        self.leases = LeaseManager(store.root, worker=worker,
+                                   stale_after=stale_after)
+        self.poll_interval = float(poll_interval)
+        self.computed: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    def run(self, sweep: SweepConfig) -> Dict[int, CellResult]:
+        """Resolve every cell of ``sweep``; returns results by position."""
+        cells = list(sweep.cells)
+        keys = [self.store.key_for(cell) for cell in cells]
+        resolved: Dict[int, CellResult] = {}
+        pending = list(range(len(cells)))
+        while pending:
+            progressed = False
+            still_pending: List[int] = []
+            for i in pending:
+                result = self._resolve_one(cells[i], keys[i])
+                if result is None:
+                    still_pending.append(i)
+                else:
+                    resolved[i] = result
+                    progressed = True
+            pending = still_pending
+            if pending and not progressed:
+                time.sleep(self.poll_interval)
+        return resolved
+
+    def _resolve_one(self, cell: ExperimentConfig,
+                     key: str) -> Optional[CellResult]:
+        """One attempt at one cell: ``None`` means blocked on another worker."""
+        record = self.store.get(key)
+        if record is not None:
+            # served under the requesting sweep's config (an overlapping
+            # sweep may have persisted it under a different label)
+            return replace(record.result, config=cell)
+        lease = self.leases.peek(key)
+        if lease is not None:
+            if lease.get("state") == "failed":
+                return failed_cell_result(cell, str(lease.get("error", "")))
+            if self.leases.is_stale(key, lease):
+                self.leases.reclaim(key, lease)
+            else:
+                return None   # live worker owns it; poll again later
+        if not self.leases.acquire(key):
+            return None       # lost the acquire race; poll again later
+        failed = False
+        try:
+            # the winner double-checks: the previous holder may have
+            # persisted the payload and released between our get and acquire
+            record = self.store.get(key)
+            if record is not None:
+                return replace(record.result, config=cell)
+            result = self._compute(cell, key)
+            failed = bool(result.extra.get("failed"))
+            return result
+        finally:
+            # a failed compute rewrote the lease into the run-scoped failure
+            # marker — releasing would delete it and let every other worker
+            # re-execute the poisoned cell
+            if not failed:
+                self.leases.release(key)
+
+    def _compute(self, cell: ExperimentConfig, key: str) -> CellResult:
+        t0 = time.perf_counter()
+        try:
+            result = run_cell(cell)
+        except Exception as exc:   # noqa: BLE001 — per-cell isolation
+            error = format_cell_error(exc)
+            self.leases.mark_failed(key, cell.name, error)
+            return failed_cell_result(cell, error)
+        provenance = build_provenance(extra={
+            "seed": cell.seed,
+            "engine": result.extra.get("engine", cell.engine),
+            "elapsed_s": round(time.perf_counter() - t0, 6),
+            "worker": self.leases.worker,
+            "backend": "shard",
+        })
+        provenance.pop("cell_keys", None)
+        self.store.put(cell, result, provenance)
+        self.leases.log_execution(key, cell.name)
+        self.computed.append(key)
+        return result
+
+
+def _shard_worker_main(store_root: str, sweep_dict: Dict[str, Any],
+                       worker: str, stale_after: float, poll_interval: float,
+                       rounds_sidecar_at: Optional[int]) -> None:
+    """Child-process entry point (top-level so it pickles under spawn)."""
+    store = ResultStore(store_root, rounds_sidecar_at=rounds_sidecar_at)
+    sweep = SweepConfig.from_dict(sweep_dict)
+    ShardWorker(store, worker=worker, stale_after=stale_after,
+                poll_interval=poll_interval).run(sweep)
+
+
+class ShardBackend:
+    """The ``shard`` execution backend: coordinate K worker processes.
+
+    ``workers`` follows :func:`repro.store.backends.resolve_backend`:
+    ``None`` → :func:`~repro.engine.parallel.recommended_workers`, ``0`` →
+    no child processes (the calling process runs the worker loop itself —
+    the CLI ``--worker`` attach mode), K ≥ 1 → K children plus a final
+    in-process mop-up pass that also assembles the results (and transparently
+    degrades to serial sharded execution where processes cannot be spawned).
+    """
+
+    name = "shard"
+
+    def __init__(self, workers: Optional[int] = None,
+                 stale_after: float = DEFAULT_STALE_AFTER,
+                 poll_interval: float = DEFAULT_POLL_INTERVAL) -> None:
+        self.workers = workers
+        self.stale_after = float(stale_after)
+        self.poll_interval = float(poll_interval)
+
+    def execute(self, sweep: SweepConfig, misses: List[int],
+                runner) -> Dict[int, CellResult]:
+        store: ResultStore = runner.store
+        keys = [store.key_for(cell) for cell in sweep.cells]
+        manager = LeaseManager(store.root, stale_after=self.stale_after)
+        for i in misses:
+            # a fresh coordinated run retries cells that failed previously
+            manager.clear_failure(keys[i])
+            if runner.rerun:
+                # --rerun promises recomputation: drop the stale payload so
+                # the payload-exists-means-done protocol recomputes it
+                path = store._payload_path(keys[i])
+                if path.exists():
+                    path.unlink()
+
+        workers = recommended_workers() if self.workers is None \
+            else int(self.workers)
+        procs = []
+        if workers >= 1 and misses:
+            try:
+                import multiprocessing
+
+                for w in range(workers):
+                    proc = multiprocessing.Process(
+                        target=_shard_worker_main,
+                        args=(str(store.root), sweep.to_dict(),
+                              f"{worker_identity()}#w{w}", self.stale_after,
+                              self.poll_interval, store.rounds_sidecar_at),
+                        daemon=True,
+                    )
+                    proc.start()
+                    procs.append(proc)
+            except (ImportError, OSError, ValueError, RuntimeError):
+                procs = []   # sandboxed: the mop-up pass runs everything
+        for proc in procs:
+            proc.join()
+
+        # Mop-up + assembly: resolves anything the children left behind
+        # (crashes, sandboxes) and reads every resolved cell back from the
+        # store, waiting on still-live foreign workers when sweeps overlap.
+        mop_up = ShardWorker(store, stale_after=self.stale_after,
+                             poll_interval=self.poll_interval)
+        resolved = mop_up.run(sweep)
+        runner.last_stats.executed.extend(
+            keys[i] for i in misses if store.contains(keys[i]))
+        return {i: resolved[i] for i in misses}
+
+
+def run_sweep_sharded(sweep: SweepConfig, store: ResultStore | str,
+                      workers: Optional[int] = None,
+                      stale_after: float = DEFAULT_STALE_AFTER,
+                      poll_interval: float = DEFAULT_POLL_INTERVAL):
+    """One-shot sharded execution of a sweep (see :class:`ShardBackend`)."""
+    from repro.store.runner import CachedSweepRunner
+
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    backend = ShardBackend(workers=workers, stale_after=stale_after,
+                           poll_interval=poll_interval)
+    return CachedSweepRunner(store, backend=backend).run(sweep)

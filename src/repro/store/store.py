@@ -7,8 +7,10 @@ Layout
     <store_dir>/
         index.json            # key -> display metadata (rebuildable cache)
         cells/<key>.json      # one schema-versioned record per executed cell
+        cells/<key>.npz       # optional rounds sidecar (see below)
         quarantine/           # corrupted payloads, moved aside by get()/gc()
         artifacts.json        # provenance ledger (see repro.store.artifacts)
+        shard/                # lease files + execution log (repro.store.shard)
 
 Each payload record carries::
 
@@ -28,15 +30,35 @@ to ``cells/<key>.json`` and ``index.json`` is a regenerable convenience for
 worst the interrupted cell is re-executed on resume.  A payload that fails to
 parse (or lacks its required fields) is *quarantined*: moved into
 ``quarantine/`` and treated as a cache miss, never deleted silently.
+
+NPZ rounds sidecars
+-------------------
+JSON lists of per-run rounds are fine at R ≤ a few thousand, but at large R
+they dominate payload size and parse time.  A store constructed with
+``rounds_sidecar_at=R0`` moves the ``rounds`` array of any result with
+``len(rounds) >= R0`` into a compressed sidecar ``cells/<key>.npz`` (array
+name ``"rounds"``, float64 — the dtype the engines emit, so the round trip
+is bit-exact).  The JSON payload stays the canonical record: its ``result``
+keeps an empty ``rounds`` list plus a ``rounds_ref`` block
+``{"format": "npz", "file": "<key>.npz", "sha256": ..., "count": R}``, and
+the content-addressed *key* is a hash of the cell config alone, so sidecars
+never affect addressing.  Readers always honor ``rounds_ref`` regardless of
+their own threshold; a payload whose sidecar is missing or corrupt is
+quarantined together with whatever is left of the sidecar, and ``gc``
+additionally sweeps *orphaned* sidecars (no payload references them) into
+quarantine.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import CellResult
@@ -69,13 +91,25 @@ def _atomic_write_json(path: Path, payload: Any) -> None:
 
 
 class ResultStore:
-    """Content-addressed persistence of :class:`CellResult` records."""
+    """Content-addressed persistence of :class:`CellResult` records.
 
-    def __init__(self, root: str | Path) -> None:
+    Parameters
+    ----------
+    root:
+        Store directory (created on first use).
+    rounds_sidecar_at:
+        When set, results with at least this many per-run rounds are written
+        with an NPZ rounds sidecar instead of an inline JSON list (see the
+        module docstring).  Reading honors sidecars regardless of this value.
+    """
+
+    def __init__(self, root: str | Path,
+                 rounds_sidecar_at: Optional[int] = None) -> None:
         self.root = Path(root)
         self.cells_dir = self.root / "cells"
         self.quarantine_dir = self.root / "quarantine"
         self.index_path = self.root / "index.json"
+        self.rounds_sidecar_at = rounds_sidecar_at
         self.cells_dir.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------ #
@@ -88,6 +122,9 @@ class ResultStore:
 
     def _payload_path(self, key: str) -> Path:
         return self.cells_dir / f"{key}.json"
+
+    def _sidecar_path(self, key: str) -> Path:
+        return self.cells_dir / f"{key}.npz"
 
     # ------------------------------------------------------------------ #
     # core operations
@@ -109,16 +146,37 @@ class ResultStore:
         hash guarantees it described the same cell).
         """
         key = self.key_for(config)
+        result_dict = result.to_dict()
+        sidecar = self._sidecar_path(key)
+        use_sidecar = (self.rounds_sidecar_at is not None
+                       and len(result.rounds) >= self.rounds_sidecar_at)
+        if use_sidecar:
+            # sidecar first, payload second: a crash in between leaves an
+            # orphaned .npz (gc sweeps those), never a dangling reference
+            tmp = sidecar.with_name(sidecar.name + ".tmp")
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh, rounds=np.asarray(result.rounds, dtype=np.float64))
+            os.replace(tmp, sidecar)
+            result_dict["rounds"] = []
+            result_dict["rounds_ref"] = {
+                "format": "npz",
+                "file": sidecar.name,
+                "sha256": hashlib.sha256(sidecar.read_bytes()).hexdigest(),
+                "count": len(result.rounds),
+            }
         record = {
             "schema": STORE_SCHEMA_VERSION,
             "key": key,
             "config": config.to_dict(),
-            "result": result.to_dict(),
+            "result": result_dict,
             "provenance": dict(provenance or {}),
         }
         # the payload is the source of truth; the display index is refreshed
         # lazily by ls_rows()/gc(), keeping this per-cell hot path O(1)
         _atomic_write_json(self._payload_path(key), record)
+        if not use_sidecar and sidecar.exists():
+            sidecar.unlink()   # overwrite dropped the reference: no orphan
         return key
 
     def get(self, config_or_key: ExperimentConfig | str) -> Optional[StoreRecord]:
@@ -136,6 +194,7 @@ class ResultStore:
             raw = from_jsonable(json.loads(path.read_text()))
             if not self._schema_compatible(raw):
                 return None   # written by another version: a miss, not damage
+            self._attach_sidecar_rounds(raw, key)
             return StoreRecord(
                 key=raw["key"],
                 config=dict(raw["config"]),
@@ -146,7 +205,43 @@ class ResultStore:
         except (json.JSONDecodeError, AttributeError, KeyError, TypeError,
                 ValueError):
             self._quarantine(path)
+            sidecar = self._sidecar_path(key)
+            if sidecar.exists():
+                self._quarantine(sidecar)   # keep the pair inspectable together
             return None
+
+    def _attach_sidecar_rounds(self, raw: Dict[str, Any], key: str) -> None:
+        """Inline a payload's sidecar rounds; raise ``ValueError`` on damage.
+
+        A payload without a ``rounds_ref`` is returned untouched.  A missing,
+        unreadable or hash-mismatched sidecar raises, which the callers treat
+        exactly like payload corruption (quarantine both files, report a
+        miss).
+        """
+        result = raw.get("result")
+        ref = result.get("rounds_ref") if isinstance(result, dict) else None
+        if ref is None:
+            return
+        sidecar = self._sidecar_path(key)
+        if not sidecar.exists():
+            raise ValueError(f"rounds sidecar {sidecar.name} is missing")
+        data = sidecar.read_bytes()
+        expected = ref.get("sha256")
+        if expected and hashlib.sha256(data).hexdigest() != expected:
+            raise ValueError(f"rounds sidecar {sidecar.name} hash mismatch")
+        try:
+            import io as _io
+
+            with np.load(_io.BytesIO(data)) as npz:
+                rounds = np.asarray(npz["rounds"], dtype=np.float64)
+        except Exception as exc:   # zipfile/format errors: damaged sidecar
+            raise ValueError(f"rounds sidecar {sidecar.name} unreadable: "
+                             f"{exc}") from exc
+        if "count" in ref and int(ref["count"]) != rounds.shape[0]:
+            raise ValueError(f"rounds sidecar {sidecar.name} has "
+                             f"{rounds.shape[0]} rounds, payload says "
+                             f"{ref['count']}")
+        result["rounds"] = [float(r) for r in rounds]
 
     @staticmethod
     def _schema_compatible(raw: Any) -> bool:
@@ -156,6 +251,14 @@ class ResultStore:
         the embedded result dict (:data:`RESULT_SCHEMA_VERSION`): a record
         from a newer package version is intact data, so it must be treated
         as a plain miss — never quarantined as corruption.
+
+        Also rejects (as stale, not corrupt) pre-backend-unification pooled
+        records — marked ``extra: {"parallel": true}`` — which carried
+        aggregate metrics only (no per-run rounds).  Serving them as hits
+        would make a warm report differ from a cold serial run depending on
+        which backend happened to populate the store; recomputing them once
+        upgrades the store in place.  ``gc --drop-schema-mismatch`` clears
+        them out.
         """
         from repro.experiments.results import RESULT_SCHEMA_VERSION
 
@@ -164,7 +267,10 @@ class ResultStore:
         result = raw.get("result")
         if not isinstance(result, dict):
             raise ValueError("payload has no result dict")
-        return int(result.get("schema", 1)) <= RESULT_SCHEMA_VERSION
+        if int(result.get("schema", 1)) > RESULT_SCHEMA_VERSION:
+            return False
+        extra = result.get("extra")
+        return not (isinstance(extra, dict) and extra.get("parallel"))
 
     def keys(self) -> List[str]:
         """Keys of every payload currently on disk (valid or not)."""
@@ -191,15 +297,23 @@ class ResultStore:
 
     def gc(self, drop_schema_mismatch: bool = False,
            drop_quarantine: bool = False) -> Dict[str, int]:
-        """Validate every payload and rebuild the index.
+        """Validate every payload (and sidecar) and rebuild the index.
 
-        Corrupted payloads are quarantined; ``drop_schema_mismatch`` deletes
-        records written under a different :data:`STORE_SCHEMA_VERSION`;
-        ``drop_quarantine`` empties the quarantine directory.  Returns counts
-        of what was kept / quarantined / dropped.
+        Corrupted payloads are quarantined (together with their sidecars);
+        sidecars no valid payload references are *orphans* and are swept into
+        quarantine too; artifact-ledger records whose input cells no longer
+        load are flagged (see
+        :meth:`repro.store.artifacts.ArtifactRegistry.flag_dangling`).
+        ``drop_schema_mismatch`` deletes records written under a different
+        :data:`STORE_SCHEMA_VERSION`; ``drop_quarantine`` empties the
+        quarantine directory.  Returns counts of what was kept / quarantined /
+        dropped / orphaned / dangling.
         """
-        kept = quarantined = dropped = 0
+        kept = quarantined = dropped = orphan_sidecars = 0
+        valid_keys: set = set()
+        referenced_sidecars: set = set()
         for path in sorted(self.cells_dir.glob("*.json")):
+            key = path.stem
             try:
                 raw = from_jsonable(json.loads(path.read_text()))
                 if not self._schema_compatible(raw):
@@ -207,19 +321,45 @@ class ResultStore:
                     if drop_schema_mismatch:
                         path.unlink()
                         dropped += 1
+                    elif isinstance(raw.get("result"), dict) and \
+                            raw["result"].get("rounds_ref"):
+                        referenced_sidecars.add(key)   # keep its sidecar too
                     continue
+                self._attach_sidecar_rounds(raw, key)
                 CellResult.from_dict(raw["result"])   # validates the payload
                 kept += 1
+                valid_keys.add(key)
+                if raw["result"].get("rounds_ref"):
+                    referenced_sidecars.add(key)
             except (json.JSONDecodeError, AttributeError, KeyError, TypeError,
                     ValueError):
                 self._quarantine(path)
+                sidecar = self._sidecar_path(key)
+                if sidecar.exists():
+                    self._quarantine(sidecar)
                 quarantined += 1
+        for sidecar in sorted(self.cells_dir.glob("*.npz")):
+            if sidecar.stem not in referenced_sidecars:
+                self._quarantine(sidecar)
+                orphan_sidecars += 1
         if drop_quarantine and self.quarantine_dir.exists():
             for path in self.quarantine_dir.iterdir():
                 path.unlink()
                 dropped += 1
+        dangling_artifacts = self._flag_dangling_artifacts(valid_keys)
         self.rebuild_index()
-        return {"kept": kept, "quarantined": quarantined, "dropped": dropped}
+        return {"kept": kept, "quarantined": quarantined, "dropped": dropped,
+                "orphan_sidecars": orphan_sidecars,
+                "dangling_artifacts": dangling_artifacts}
+
+    def _flag_dangling_artifacts(self, valid_keys: set) -> int:
+        """Flag ledger entries whose input cells no longer load (see gc)."""
+        from repro.store.artifacts import ArtifactRegistry
+
+        ledger = self.root / "artifacts.json"
+        if not ledger.exists():
+            return 0
+        return ArtifactRegistry(ledger).flag_dangling(valid_keys)
 
     # ------------------------------------------------------------------ #
     # index (display metadata; rebuildable from the payloads)
@@ -288,6 +428,7 @@ class ResultStore:
         """Aggregate store facts for ``repro-consensus store info``."""
         keys = self.keys()
         size = sum(p.stat().st_size for p in self.cells_dir.glob("*.json"))
+        sidecars = list(self.cells_dir.glob("*.npz"))
         n_quarantined = (len(list(self.quarantine_dir.iterdir()))
                          if self.quarantine_dir.exists() else 0)
         return {
@@ -295,5 +436,7 @@ class ResultStore:
             "schema": STORE_SCHEMA_VERSION,
             "entries": len(keys),
             "payload_bytes": size,
+            "sidecars": len(sidecars),
+            "sidecar_bytes": sum(p.stat().st_size for p in sidecars),
             "quarantined": n_quarantined,
         }

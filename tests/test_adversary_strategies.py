@@ -256,3 +256,56 @@ class TestVictimsPerBin:
         counts = np.full(4, n // 4, dtype=np.int64)
         out = _victims_per_bin(counts, 100, rng)
         assert int(out.sum()) == 100 and np.all(out >= 0)
+
+    def test_numpy_refusal_threshold_is_pinned(self):
+        # the exact-boundary pin for _MVH_POPULATION_LIMIT: numpy's sampler
+        # accepts total = limit - 1 and refuses total = limit, so the
+        # `total < limit` branch uses numpy on exactly the populations it
+        # can handle and the fallback on exactly the ones it cannot
+        from repro.adversary.strategies import _MVH_POPULATION_LIMIT
+
+        rng = np.random.default_rng(3)
+        below = np.array([_MVH_POPULATION_LIMIT - 2, 1], dtype=np.int64)
+        at = np.array([_MVH_POPULATION_LIMIT - 1, 1], dtype=np.int64)
+        assert int(rng.multivariate_hypergeometric(below, 3).sum()) == 3
+        with pytest.raises(ValueError):
+            rng.multivariate_hypergeometric(at, 3)
+
+    def test_fallback_at_exact_boundary_population(self):
+        # total == _MVH_POPULATION_LIMIT exactly: must route to the
+        # vectorized fallback (numpy would raise, see the pin above) and
+        # still be a valid without-replacement draw
+        from repro.adversary.strategies import (
+            _MVH_POPULATION_LIMIT,
+            _victims_per_bin,
+        )
+
+        rng = np.random.default_rng(4)
+        counts = np.array([_MVH_POPULATION_LIMIT - 7, 0, 5, 2],
+                          dtype=np.int64)
+        out = _victims_per_bin(counts, 50, rng)
+        assert int(out.sum()) == 50
+        assert np.all(out >= 0) and np.all(out <= counts)
+        assert out[1] == 0
+
+    def test_forced_fallback_matches_hypergeometric_pmf(self, monkeypatch):
+        # collision-heavy regime (size comparable to total): the rejection
+        # resampling must still produce the exact multivariate
+        # hypergeometric law; chi-square against the closed-form pmf
+        from math import comb
+
+        import repro.adversary.strategies as strategies
+
+        counts = np.array([4, 3], dtype=np.int64)
+        total, size, reps = 7, 3, 4000
+        rng = np.random.default_rng(5)
+        monkeypatch.setattr(strategies, "_MVH_POPULATION_LIMIT", 0)
+        draws = np.array([strategies._victims_per_bin(counts, size, rng)[0]
+                          for _ in range(reps)])
+        observed = np.bincount(draws, minlength=size + 1)
+        pmf = np.array([comb(4, k) * comb(3, size - k) / comb(total, size)
+                        for k in range(size + 1)])
+        expected = reps * pmf
+        chi2 = float(((observed - expected) ** 2 / expected).sum())
+        # 3 degrees of freedom; chi2 > 16.3 has p < 0.001
+        assert chi2 < 16.3

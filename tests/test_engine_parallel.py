@@ -71,6 +71,32 @@ class TestExecuteWorkItems:
         pooled = execute_work_items(items, max_workers=2)[0]
         assert serial["mean_rounds"] == pooled["mean_rounds"]
 
+    def test_summaries_carry_per_run_rounds(self):
+        out = execute_work_items([_item("r", n=32)], max_workers=0)[0]
+        assert len(out["rounds"]) == out["num_runs"]
+        assert all(isinstance(r, float) for r in out["rounds"])
+
+    @pytest.mark.parametrize("max_workers", [0, 2])
+    def test_raising_cell_becomes_error_summary(self, max_workers):
+        # a poisoned cell must yield {"label", "error"} in its slot instead
+        # of aborting the batch — identically on the serial and pooled paths
+        items = [_item("good", n=32),
+                 _item("bad", n=32, rule="no-such-rule"),
+                 _item("also-good", n=48)]
+        out = execute_work_items(items, max_workers=max_workers)
+        assert [o["label"] for o in out] == ["good", "bad", "also-good"]
+        assert "error" in out[1] and "no-such-rule" in out[1]["error"]
+        assert out[1]["error"].startswith("KeyError")
+        assert out[0]["convergence_fraction"] == 1.0
+
+    def test_iter_results_include_errors(self):
+        from repro.engine.parallel import iter_work_item_results
+
+        items = [_item("good", n=32), _item("bad", n=32, rule="boom")]
+        results = dict(iter_work_item_results(items, max_workers=2))
+        assert set(results) == {0, 1}
+        assert "error" in results[1] and "boom" in results[1]["error"]
+
 
 class TestRecommendedWorkers:
     def test_at_least_one(self):

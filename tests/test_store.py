@@ -7,7 +7,7 @@ import math
 
 import pytest
 
-import repro.store.runner as store_runner_mod
+import repro.store.backends as store_backends_mod
 from repro.experiments.config import ExperimentConfig, SweepConfig
 from repro.experiments.results import CellResult, ExperimentReport
 from repro.experiments.runner import run_sweep
@@ -154,6 +154,31 @@ class TestResultStore:
         counts = store.gc(drop_schema_mismatch=True)
         assert counts["dropped"] == 1 and not payload.exists()
 
+    def test_legacy_aggregate_pooled_record_is_stale_not_served(self, tmp_path):
+        # records written by the pre-backend-unification pooled path carried
+        # aggregate metrics only (extra {"parallel": true}, rounds []);
+        # serving them as hits would make warm reports depend on which
+        # backend populated the store — they must read as stale misses and
+        # be recomputed in place, never quarantined as corruption
+        store = ResultStore(tmp_path / "store")
+        cfg = _config()
+        key = store.put(cfg, _result(cfg))
+        payload = store.cells_dir / f"{key}.json"
+        raw = json.loads(payload.read_text())
+        raw["result"]["rounds"] = []
+        raw["result"]["extra"] = {"parallel": True}
+        payload.write_text(json.dumps(raw))
+        assert store.get(cfg) is None
+        assert payload.exists()                  # stale, not damaged
+        assert store.gc()["quarantined"] == 0
+        runner = CachedSweepRunner(store)
+        runner.run(_sweep(ns=(48,)))
+        assert runner.last_stats.misses == 1     # recomputed once...
+        assert store.get(cfg).result.rounds != []   # ...store upgraded
+        # and drop-schema-mismatch clears legacy records without recompute
+        payload.write_text(json.dumps(raw))
+        assert store.gc(drop_schema_mismatch=True)["dropped"] == 1
+
     def test_gc_counts_and_index_rebuild(self, tmp_path):
         store = ResultStore(tmp_path / "store")
         for n in (32, 48):
@@ -163,7 +188,8 @@ class TestResultStore:
         bad.write_text("garbage")
         assert not store.index_path.exists()     # put() never writes the index
         counts = store.gc()
-        assert counts == {"kept": 2, "quarantined": 1, "dropped": 0}
+        assert counts == {"kept": 2, "quarantined": 1, "dropped": 0,
+                          "orphan_sidecars": 0, "dangling_artifacts": 0}
         assert len(store.ls_rows()) == 2
         counts = store.gc(drop_quarantine=True)
         assert counts["dropped"] == 1
@@ -203,8 +229,8 @@ class TestCachedSweepRunner:
         assert runner.last_stats.misses == 2
 
         calls = []
-        real_run_cell = store_runner_mod.run_cell
-        monkeypatch.setattr(store_runner_mod, "run_cell",
+        real_run_cell = store_backends_mod.run_cell
+        monkeypatch.setattr(store_backends_mod, "run_cell",
                             lambda cell: calls.append(cell) or real_run_cell(cell))
         warm = runner.run(_sweep())
         assert calls == []                       # zero recomputation
@@ -227,7 +253,7 @@ class TestCachedSweepRunner:
         store = ResultStore(tmp_path / "store")
         runner = CachedSweepRunner(store)
 
-        real_run_cell = store_runner_mod.run_cell
+        real_run_cell = store_backends_mod.run_cell
         executed = []
 
         def dying_run_cell(cell):
@@ -236,7 +262,7 @@ class TestCachedSweepRunner:
             executed.append(cell.name)
             return real_run_cell(cell)
 
-        monkeypatch.setattr(store_runner_mod, "run_cell", dying_run_cell)
+        monkeypatch.setattr(store_backends_mod, "run_cell", dying_run_cell)
         with pytest.raises(KeyboardInterrupt):
             runner.run(sweep)
         assert executed == ["n=32", "n=48"]      # first two cells persisted
@@ -246,7 +272,7 @@ class TestCachedSweepRunner:
             executed.append(cell.name)
             return real_run_cell(cell)
 
-        monkeypatch.setattr(store_runner_mod, "run_cell", counting_run_cell)
+        monkeypatch.setattr(store_backends_mod, "run_cell", counting_run_cell)
         resumed = runner.run(sweep)
         assert executed == ["n=32", "n=48", "n=64", "n=96"]   # no re-execution
         assert runner.last_stats.hits == 2 and runner.last_stats.misses == 2
