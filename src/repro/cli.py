@@ -270,7 +270,11 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return 0
     if args.store_command == "info":
         if args.key is None:
-            print(render_kv(store.info(), title=f"store {store.root}"))
+            from repro.engine.rng import multinomial_kernel_id
+            print(render_kv({
+                **store.info(),
+                "kernel_this_process": multinomial_kernel_id(),
+            }, title=f"store {store.root}"))
             return 0
         matches = [k for k in store.keys() if k.startswith(args.key)]
         if len(matches) != 1:

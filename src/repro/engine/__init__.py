@@ -76,6 +76,34 @@ Rule of thumb: protocol semantics → network; n ≤ 10⁷ or exotic
 rules/adversaries → vectorized (batch/fused for distributions); n beyond that
 with modest m → occupancy; convergence-round *distributions* at any n with
 modest m → occupancy-fused.
+
+Multinomial kernel backend (the m ≥ 64 wall)
+--------------------------------------------
+Every occupancy substrate bottoms out in exact multinomial scatters, drawn
+through one seam (:mod:`repro.engine._multinomial`) with two backends:
+
+=============  ============================================================
+``numpy``      ``Generator.multinomial`` — the historical bit stream; every
+               seed-pinned golden result was produced on it.
+``compiled``   conditional-binomial cascade in native code (numba if
+               importable, else a C kernel compiled on first use), plus a
+               pooled *banded* sampler that scatters a built-in rule's whole
+               run with O(m) draws instead of O(m²).
+=============  ============================================================
+
+Selection is ``auto`` (compiled when available, else NumPy with one
+structured warning): force or pin with ``REPRO_MULTINOMIAL_KERNEL=
+{auto,compiled,numpy,numba,cc}`` or
+:func:`repro.engine.rng.set_multinomial_backend`; check what actually runs
+with :func:`repro.engine.rng.multinomial_kernel_id` (also stamped into
+store provenance, shown by ``repro store info``).  Expected effect: at
+m ≤ 32 the dense rounds are cheap and fusion already wins, so the backend
+barely matters; at m = 64 the compiled banded path is what restores the
+≥10× fused-vs-looped gap (``benchmarks/bench_multinomial.py`` /
+``BENCH_multinomial.json``).  Reproducibility is backend-scoped: identical
+seeds give identical results only within one backend; across backends the
+engines agree in distribution (certified by
+``tests/test_engine_differential.py`` and ``tests/test_multinomial_seam.py``).
 """
 
 from repro.engine.asynchronous import ACTIVATION_ORDERS, AsyncResult, simulate_asynchronous
@@ -90,6 +118,7 @@ from repro.engine.batch import (
     run_batch_fused_occupancy,
 )
 from repro.engine.occupancy import (
+    occupancy_outcome_profiles,
     occupancy_round,
     occupancy_round_batch,
     occupancy_transition_matrix,
@@ -97,7 +126,18 @@ from repro.engine.occupancy import (
     simulate_occupancy,
 )
 from repro.engine.parallel import WorkItem, execute_work_items, recommended_workers
-from repro.engine.rng import RngPool, make_rng, spawn_rngs, spawn_seeds
+from repro.engine.rng import (
+    KernelInfo,
+    MultinomialKernelWarning,
+    RngPool,
+    make_rng,
+    multinomial_backend_info,
+    multinomial_kernel_id,
+    resolve_multinomial_backend,
+    set_multinomial_backend,
+    spawn_rngs,
+    spawn_seeds,
+)
 from repro.engine.run import SimulationResult
 from repro.engine.trajectory import RecordLevel, Trajectory, TrajectoryRecorder
 from repro.engine.vectorized import EngineConfig, default_max_rounds, simulate
@@ -121,8 +161,15 @@ __all__ = [
     "COUNT_ADVERSARIES",
     "occupancy_round",
     "occupancy_round_batch",
+    "occupancy_outcome_profiles",
     "occupancy_transition_matrix",
     "occupancy_transition_matrix_batch",
+    "KernelInfo",
+    "MultinomialKernelWarning",
+    "multinomial_backend_info",
+    "multinomial_kernel_id",
+    "resolve_multinomial_backend",
+    "set_multinomial_backend",
     "WorkItem",
     "execute_work_items",
     "recommended_workers",

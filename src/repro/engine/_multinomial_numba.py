@@ -1,0 +1,206 @@
+"""numba provider for the exact-multinomial seam.
+
+This module is imported *only* inside the seam's feature detection
+(:mod:`repro.engine._multinomial`), wrapped in a try/except — a missing,
+broken, or ABI-mismatched numba must never break ``import repro.engine``.
+Keep the top-level import surface minimal and the jitted kernels on
+long-supported numba features only (scalar ``np.random.binomial``,
+``np.random.seed``, plain loops).
+
+The kernels mirror ``_mnk.c`` exactly in structure (conditional-binomial
+cascade, grouped column sums, banded pooled walker); the drawn bit streams
+differ between the two compiled providers, which is fine — reproducibility
+is backend-scoped by design (see the seam's module docstring).
+
+Threading note: the row loops are deliberately sequential (no ``prange``).
+One RNG stream per call is what makes a compiled draw reproducible from the
+single bridged seed; per-thread streams would trade that away for a speedup
+the target boxes (1–2 cores in CI) cannot realize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+NAME = "numba"
+
+
+@njit(cache=True)
+def _binom(n, p):
+    if p <= 0.0 or n <= 0:
+        return 0
+    if p >= 1.0:
+        return n
+    return np.random.binomial(n, p)
+
+
+@njit(cache=True)
+def _flows(counts, probs, seed, out):
+    np.random.seed(seed)
+    rows, m = probs.shape
+    for r in range(rows):
+        for j in range(m):
+            out[r, j] = 0
+        rem = counts[r]
+        if rem <= 0:
+            continue
+        psum = 1.0
+        for j in range(m - 1):
+            pj = probs[r, j]
+            if pj <= 0.0:
+                continue
+            cond = pj / psum
+            if cond >= 1.0:
+                d = rem
+            else:
+                d = _binom(rem, cond)
+            out[r, j] = d
+            rem -= d
+            psum -= pj
+            if rem <= 0 or psum <= 0.0:
+                break
+        if rem > 0:
+            out[r, m - 1] = rem
+
+
+@njit(cache=True)
+def _scatter_sums(counts, probs, R, m, seed, out):
+    np.random.seed(seed)
+    for r in range(R):
+        for a in range(m):
+            rem = counts[r * m + a]
+            if rem <= 0:
+                continue
+            psum = 1.0
+            for j in range(m - 1):
+                pj = probs[r * m + a, j]
+                if pj <= 0.0:
+                    continue
+                cond = pj / psum
+                if cond >= 1.0:
+                    d = rem
+                else:
+                    d = _binom(rem, cond)
+                out[r, j] += d
+                rem -= d
+                psum -= pj
+                if rem <= 0 or psum <= 0.0:
+                    break
+            if rem > 0:
+                out[r, m - 1] += rem
+
+
+@njit(cache=True)
+def _banded(counts, lo, hi, diag, seed, out):
+    np.random.seed(seed)
+    R, m = counts.shape
+    loc = np.empty(m, np.float64)
+    hic = np.empty(m, np.float64)
+    Lo = np.empty(m, np.float64)
+    Hi = np.empty(m, np.float64)
+    below = np.empty(m, np.int64)
+    above = np.empty(m, np.int64)
+    for r in range(R):
+        acc = 0.0
+        for b in range(m):
+            loc[b] = lo[r, b] if lo[r, b] > 0.0 else 0.0
+            acc += loc[b]
+            Lo[b] = acc
+        acc = 0.0
+        for b in range(m - 1, -1, -1):
+            hic[b] = hi[r, b] if hi[r, b] > 0.0 else 0.0
+            acc += hic[b]
+            Hi[b] = acc
+
+        for a in range(m):
+            below[a] = 0
+            above[a] = 0
+            ca = counts[r, a]
+            if ca <= 0:
+                continue
+            wB = Lo[a - 1] if a > 0 else 0.0
+            wD = diag[r, a] if diag[r, a] > 0.0 else 0.0
+            wA = Hi[a + 1] if a < m - 1 else 0.0
+            s = wB + wD + wA
+            if s <= 0.0:
+                out[r, a] += ca
+                continue
+            nb = _binom(ca, wB / s)
+            rest = ca - nb
+            dA = wD + wA
+            na = _binom(rest, wA / dA) if dA > 0.0 else 0
+            below[a] = nb
+            above[a] = na
+            out[r, a] += rest - na
+
+        pending = 0
+        for b in range(m - 2, -1, -1):
+            pending += below[b + 1]
+            if pending <= 0:
+                continue
+            if b == 0 or Lo[b] <= 0.0:
+                land = pending
+            else:
+                hz = loc[b] / Lo[b]
+                land = pending if hz >= 1.0 else _binom(pending, hz)
+            out[r, b] += land
+            pending -= land
+
+        pending = 0
+        for b in range(1, m):
+            pending += above[b - 1]
+            if pending <= 0:
+                continue
+            if b == m - 1 or Hi[b] <= 0.0:
+                land = pending
+            else:
+                hz = hic[b] / Hi[b]
+                land = pending if hz >= 1.0 else _binom(pending, hz)
+            out[r, b] += land
+            pending -= land
+
+
+def _seed32(seed: int) -> np.uint32:
+    return np.uint32(int(seed) & 0xFFFFFFFF)
+
+
+def sample_flows(counts: np.ndarray, probs: np.ndarray, seed: int) -> np.ndarray:
+    out = np.zeros(probs.shape, dtype=np.int64)
+    _flows(counts, probs, _seed32(seed), out)
+    return out
+
+
+def scatter_sums(counts: np.ndarray, probs: np.ndarray, R: int, m: int,
+                 seed: int) -> np.ndarray:
+    out = np.zeros((R, m), dtype=np.int64)
+    _scatter_sums(counts, probs, R, m, _seed32(seed), out)
+    return out
+
+
+def sample_banded(counts: np.ndarray, lo: np.ndarray, hi: np.ndarray,
+                  diag: np.ndarray, seed: int) -> np.ndarray:
+    out = np.zeros(counts.shape, dtype=np.int64)
+    _banded(counts, lo, hi, diag, _seed32(seed), out)
+    return out
+
+
+def warm_up() -> None:
+    """Force-compile every kernel and sanity-check trivial draws.
+
+    Raises on any numba failure — the seam treats that as "provider
+    unavailable" and moves down the detection chain.
+    """
+    eye = np.eye(3, dtype=np.float64)
+    c = np.array([5, 0, 7], dtype=np.int64)
+    flows = sample_flows(c, eye, 12345)
+    if not (np.array_equal(np.diag(flows), c) and flows.sum() == c.sum()):
+        raise RuntimeError("numba sample_flows failed its identity smoke test")
+    sums = scatter_sums(c, eye, 1, 3, 12345)
+    if not np.array_equal(sums[0], c):
+        raise RuntimeError("numba scatter_sums failed its identity smoke test")
+    z = np.zeros((1, 3), dtype=np.float64)
+    one = np.ones((1, 3), dtype=np.float64)
+    stay = sample_banded(c[None, :], z, z, one, 12345)
+    if not np.array_equal(stay[0], c):
+        raise RuntimeError("numba sample_banded failed its stay smoke test")

@@ -491,23 +491,24 @@ def _fused_occupancy_supported(rule: Rule, adversary: Optional[Adversary]) -> bo
 
 def _occupancy_round_blocked(counts: np.ndarray, rule: Rule,
                              rng: np.random.Generator,
-                             max_block_elems: int) -> np.ndarray:
+                             max_block_elems: int,
+                             support=None) -> np.ndarray:
     """One fused round, chunked over runs so peak memory stays bounded."""
     R, m = counts.shape
     block = max(1, int(max_block_elems) // max(m * m, 1))
     if R <= block:
-        return occupancy_round_batch(counts, rule, rng)
+        return occupancy_round_batch(counts, rule, rng, support=support)
     out = np.empty_like(counts)
     for start in range(0, R, block):
         out[start:start + block] = occupancy_round_batch(
-            counts[start:start + block], rule, rng)
+            counts[start:start + block], rule, rng, support=support)
     return out
 
 
 def _occupancy_round_blocked_split(counts: np.ndarray, victim_counts: np.ndarray,
                                    rule: Rule, rng: np.random.Generator,
-                                   max_block_elems: int
-                                   ) -> tuple:
+                                   max_block_elems: int,
+                                   support=None) -> tuple:
     """Blocked twin of :func:`~repro.engine.occupancy.occupancy_round_batch_split`.
 
     Used on rounds where at least one run's adversary tracks a victim
@@ -516,14 +517,15 @@ def _occupancy_round_blocked_split(counts: np.ndarray, victim_counts: np.ndarray
     R, m = counts.shape
     block = max(1, int(max_block_elems) // max(m * m, 1))
     if R <= block:
-        return occupancy_round_batch_split(counts, victim_counts, rule, rng)
+        return occupancy_round_batch_split(counts, victim_counts, rule, rng,
+                                           support=support)
     out = np.empty_like(counts)
     out_vic = np.empty_like(victim_counts)
     for start in range(0, R, block):
         out[start:start + block], out_vic[start:start + block] = \
             occupancy_round_batch_split(counts[start:start + block],
                                         victim_counts[start:start + block],
-                                        rule, rng)
+                                        rule, rng, support=support)
     return out, out_vic
 
 
@@ -710,11 +712,12 @@ def run_batch_fused_occupancy(
                         tracked.append((j, r_idx))
         if tracked:
             sub, new_victims = _occupancy_round_blocked_split(
-                sub, victims, rule, rng, max_block_elems)
+                sub, victims, rule, rng, max_block_elems, support=support)
             for j, r_idx in tracked:
                 adversaries[r_idx].observe_victim_scatter(support, new_victims[j])
         else:
-            sub = _occupancy_round_blocked(sub, rule, rng, max_block_elems)
+            sub = _occupancy_round_blocked(sub, rule, rng, max_block_elems,
+                                           support=support)
 
         if any_adversary:
             for j, r_idx in enumerate(act):

@@ -81,6 +81,7 @@ from repro.core.occupancy_state import (
 )
 from repro.core.rules import Rule
 from repro.core.state import Configuration
+from repro.engine import _multinomial as _mnk
 from repro.engine.rng import make_rng
 from repro.engine.run import SimulationResult
 from repro.engine.trajectory import RecordLevel, Trajectory
@@ -95,6 +96,7 @@ __all__ = [
     "single_choice_outcome_matrix",
     "three_majority_outcome_matrix",
     "two_choices_outcome_matrix",
+    "occupancy_outcome_profiles",
     "occupancy_transition_matrix",
     "occupancy_transition_matrix_batch",
     "occupancy_round",
@@ -337,6 +339,86 @@ def _check_support_width(m: int) -> None:
         )
 
 
+def occupancy_outcome_profiles(
+        rule: Rule, counts: np.ndarray
+) -> Optional[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Band profiles ``(lo, hi, diag)`` of a built-in rule's outcome matrix.
+
+    Every built-in occupancy kernel produces a matrix of the form
+    ``Q[a, b] = lo[b]`` for ``b < a``, ``hi[b]`` for ``b > a`` and
+    ``diag[a]`` for ``b = a`` (up to the per-row clip/renormalization of
+    :func:`_normalize_rows`, which cancels out of every conditional ratio a
+    sampler draws from).  This banded structure is what lets the compiled
+    backend scatter a whole run with O(m) binomial draws instead of O(m²)
+    (:func:`repro.engine._multinomial.sample_scatter_banded`).
+
+    ``counts`` may carry leading batch dimensions ``(..., m)``; the profiles
+    come back with the same leading shape.  Returns ``None`` for rules
+    outside the built-in families (including any rule providing its own
+    ``occupancy_kernel`` hook — those go through the dense path).  Raises
+    the same errors as :func:`occupancy_transition_matrix` for invalid
+    inputs so routing through profiles never changes the error surface.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    _check_support_width(counts.shape[-1])
+    n_per_row = counts.sum(axis=-1)
+    if np.any(n_per_row == 0):
+        raise ValueError("cannot build a transition for an empty population")
+    if callable(getattr(rule, "occupancy_kernel", None)):
+        return None
+    if not isinstance(rule, OCCUPANCY_KERNEL_RULE_TYPES):
+        return None
+    cdf = np.cumsum(counts, axis=-1).astype(np.float64) / n_per_row[..., None]
+    zeros = np.zeros_like(cdf[..., :1])
+
+    if isinstance(rule, MedianRuleWithoutReplacement) and np.all(n_per_row >= 3):
+        n = int(n_per_row.ravel()[0])
+        if counts.ndim > 1 and np.any(n_per_row != n):
+            raise ValueError(
+                "batched without-replacement kernel needs a uniform n")
+        C = np.cumsum(counts, axis=-1).astype(np.float64)
+        C_prev = np.concatenate([zeros, C[..., :-1]], axis=-1)
+        D = float(n - 1) * float(n - 2)
+        below = C * (C - 1.0) / D
+        above = (n - C_prev) * (n - C_prev - 1.0) / D
+        lo = np.diff(below, prepend=0.0, axis=-1)
+        hi = -np.diff(above, append=0.0, axis=-1)
+        below_prev = np.concatenate([zeros, below[..., :-1]], axis=-1)
+        above_next = np.concatenate([above[..., 1:], zeros], axis=-1)
+        diag = 1.0 - below_prev - above_next
+        return lo, hi, diag
+    if isinstance(rule, (MedianRule, BestOfKMedianRule)):
+        # MedianRuleWithoutReplacement with some n < 3 lands here too: the
+        # rule itself falls back to with-replacement sampling below n = 3
+        k = rule.k if isinstance(rule, BestOfKMedianRule) else 2
+        r = k // 2
+        s_hi = binomial_sf(k, r, cdf)
+        s_lo = binomial_sf(k, r + 1, cdf)
+        lo = np.diff(s_lo, prepend=0.0, axis=-1)
+        hi = np.diff(s_hi, prepend=0.0, axis=-1)
+        s_lo_prev = np.concatenate([zeros, s_lo[..., :-1]], axis=-1)
+        diag = s_hi - s_lo_prev
+        return lo, hi, diag
+
+    p = np.diff(cdf, prepend=0.0, axis=-1)
+    if isinstance(rule, VoterRule):
+        return p, p, p
+    if isinstance(rule, MinimumRule):
+        F_prev = np.concatenate([zeros, cdf[..., :-1]], axis=-1)
+        return p, np.zeros_like(p), 1.0 - F_prev
+    if isinstance(rule, MaximumRule):
+        return np.zeros_like(p), p, cdf
+    if isinstance(rule, TwoChoicesMajorityRule):
+        s2 = np.sum(p * p, axis=-1, keepdims=True)
+        q = p * (1.0 + p - s2)
+        return q, q, q
+    if isinstance(rule, TwoChoicesRule):
+        p2 = p * p
+        s2 = np.sum(p2, axis=-1, keepdims=True)
+        return p2, p2, 1.0 - s2 + p2
+    return None
+
+
 def _builtin_transition(rule: Rule, counts: np.ndarray) -> np.ndarray:
     """Shared rule-type dispatch; ``counts`` may be ``(m,)`` or batched ``(..., m)``."""
     n_per_row = counts.sum(axis=-1)
@@ -369,13 +451,16 @@ def _builtin_transition(rule: Rule, counts: np.ndarray) -> np.ndarray:
     )
 
 
-def occupancy_transition_matrix(rule: Rule, counts: np.ndarray) -> np.ndarray:
+def occupancy_transition_matrix(rule: Rule, counts: np.ndarray,
+                                support: Optional[np.ndarray] = None
+                                ) -> np.ndarray:
     """Build the per-class outcome matrix ``Q`` of one round of ``rule``.
 
     Dispatches on the rule type; rules outside the built-in families may
-    provide an ``occupancy_kernel(support, counts)`` method (``support`` is
-    passed as ``None`` here since the kernels are label-free — only the order
-    of the bins matters).
+    provide an ``occupancy_kernel(support, counts)`` method.  ``support`` is
+    the bin-value array matching ``counts`` (the built-in kernels are
+    label-free and ignore it; value-aware hooks receive whatever the caller
+    tracked, or ``None`` when no labels exist at the call site).
     """
     counts = np.asarray(counts, dtype=np.int64)
     _check_support_width(counts.shape[0])
@@ -383,17 +468,23 @@ def occupancy_transition_matrix(rule: Rule, counts: np.ndarray) -> np.ndarray:
         raise ValueError("cannot build a transition for an empty population")
     hook = getattr(rule, "occupancy_kernel", None)
     if callable(hook):
-        return _normalize_rows(np.asarray(hook(None, counts), dtype=np.float64))
+        return _normalize_rows(np.asarray(hook(support, counts),
+                                          dtype=np.float64))
     return _builtin_transition(rule, counts)
 
 
-def occupancy_transition_matrix_batch(rule: Rule, counts: np.ndarray) -> np.ndarray:
+def occupancy_transition_matrix_batch(rule: Rule, counts: np.ndarray,
+                                      support: Optional[np.ndarray] = None
+                                      ) -> np.ndarray:
     """Stacked ``(R, m, m)`` outcome tensor: one transition matrix per run.
 
     The built-in kernels are genuinely vectorized over the run axis (one pass
     of batched CDFs / binomial tails for the whole batch); rules providing a
-    custom ``occupancy_kernel`` fall back to a per-run loop so correctness is
-    preserved for them too.
+    custom ``occupancy_kernel`` hook are offered the whole ``(R, m)`` batch
+    first (hooks broadcasting over leading batch dims run vectorized), and
+    only drop to a per-run loop when the batched call fails or returns the
+    wrong shape.  ``support`` is forwarded to the hook exactly as in
+    :func:`occupancy_transition_matrix`.
     """
     counts = np.asarray(counts, dtype=np.int64)
     if counts.ndim != 2:
@@ -403,8 +494,15 @@ def occupancy_transition_matrix_batch(rule: Rule, counts: np.ndarray) -> np.ndar
         raise ValueError("cannot build a transition for an empty population")
     hook = getattr(rule, "occupancy_kernel", None)
     if callable(hook):
+        R, m = counts.shape
+        try:
+            batched = np.asarray(hook(support, counts), dtype=np.float64)
+        except Exception:
+            batched = None
+        if batched is not None and batched.shape == (R, m, m):
+            return _normalize_rows(batched)
         return np.stack([
-            _normalize_rows(np.asarray(hook(None, row), dtype=np.float64))
+            _normalize_rows(np.asarray(hook(support, row), dtype=np.float64))
             for row in counts
         ])
     return _builtin_transition(rule, counts)
@@ -415,47 +513,65 @@ def occupancy_transition_matrix_batch(rule: Rule, counts: np.ndarray) -> np.ndar
 # ---------------------------------------------------------------------- #
 def _scatter_counts(counts: np.ndarray, Q: np.ndarray,
                     rng: np.random.Generator) -> np.ndarray:
-    """Scatter ``counts`` through outcome matrix ``Q``: column sums of the flows."""
-    # one batched draw: row a ~ Multinomial(counts[a], Q[a])
-    flows = rng.multinomial(counts, Q)
-    return flows.sum(axis=0, dtype=np.int64)
+    """Scatter ``counts`` through outcome matrix ``Q``: column sums of the flows.
+
+    Routed through the exact-multinomial seam: the numpy backend draws
+    ``rng.multinomial(counts, Q)`` bit-for-bit as before, the compiled
+    backend runs the conditional-binomial cascade in native code.
+    """
+    return _mnk.scatter_column_sums(counts, Q, rng)
 
 
 def _scatter_counts_batch(counts: np.ndarray, Q: np.ndarray,
                           rng: np.random.Generator) -> np.ndarray:
-    """Batched scatter: ``(R, m)`` counts through the ``(R, m, m)`` tensor."""
-    R, m = counts.shape
-    nz_run, nz_bin = np.nonzero(counts > 0)
-    if nz_run.shape[0] >= R * m:
-        flows = rng.multinomial(counts.reshape(R * m), Q.reshape(R * m, m))
-        return flows.reshape(R, m, m).sum(axis=1, dtype=np.int64)
-    # empty bins scatter nothing: draw only the occupied (run, bin) pairs and
-    # segment-sum the flows back per run (nz_run is sorted row-major, so each
-    # run's pairs are contiguous)
-    out = np.zeros((R, m), dtype=np.int64)
-    if nz_run.shape[0] == 0:
-        return out
-    flows = rng.multinomial(counts[nz_run, nz_bin], Q[nz_run, nz_bin])
-    starts = np.flatnonzero(np.r_[True, np.diff(nz_run) > 0])
-    out[nz_run[starts]] = np.add.reduceat(flows, starts, axis=0)
-    return out
+    """Batched scatter: ``(R, m)`` counts through the ``(R, m, m)`` tensor.
+
+    Seam-routed like :func:`_scatter_counts`; the numpy backend keeps the
+    historical draw-only-occupied-pairs filtering (and bit stream), the
+    compiled backend skips empty bins inline.
+    """
+    return _mnk.scatter_column_sums_batch(counts, Q, rng)
+
+
+def _banded_profiles_if_fast(rule: Rule, counts: np.ndarray
+                             ) -> Optional[tuple[np.ndarray, np.ndarray,
+                                                 np.ndarray]]:
+    """Profiles for the O(m)-draw banded scatter, when it is the right path.
+
+    Only the compiled backend implements the pooled hazard walk natively;
+    the numpy backend keeps the historical dense ``Generator.multinomial``
+    bit stream, so banded routing is gated on the resolved backend (not
+    just rule structure).
+    """
+    if not _mnk.use_compiled():
+        return None
+    return occupancy_outcome_profiles(rule, counts)
 
 
 def occupancy_round(counts: np.ndarray, rule: Rule,
-                    rng: np.random.Generator) -> np.ndarray:
+                    rng: np.random.Generator, *,
+                    support: Optional[np.ndarray] = None) -> np.ndarray:
     """Advance one synchronous round in count space (exact, O(m²)).
 
     Each value class scatters its holders over the classes with one
     multinomial draw from its outcome distribution; the new occupancy is the
-    column sum.  Population size is conserved exactly.
+    column sum.  Population size is conserved exactly.  On the compiled
+    backend, built-in rules take the banded O(m)-draw path and never build
+    the m×m matrix at all.
     """
     counts = np.asarray(counts, dtype=np.int64)
-    Q = occupancy_transition_matrix(rule, counts)
+    prof = _banded_profiles_if_fast(rule, counts)
+    if prof is not None:
+        lo, hi, diag = prof
+        return _mnk.sample_scatter_banded(counts[None, :], lo, hi, diag,
+                                          rng)[0]
+    Q = occupancy_transition_matrix(rule, counts, support)
     return _scatter_counts(counts, Q, rng)
 
 
 def occupancy_round_split(counts: np.ndarray, victim_counts: np.ndarray,
-                          rule: Rule, rng: np.random.Generator
+                          rule: Rule, rng: np.random.Generator, *,
+                          support: Optional[np.ndarray] = None
                           ) -> tuple[np.ndarray, np.ndarray]:
     """One round with the victim subpopulation scattered separately (exact).
 
@@ -478,14 +594,25 @@ def occupancy_round_split(counts: np.ndarray, victim_counts: np.ndarray,
             "victim occupancy out of sync with the population counts "
             "(victim_counts must satisfy 0 <= victim_counts <= counts)"
         )
-    Q = occupancy_transition_matrix(rule, counts)
+    prof = _banded_profiles_if_fast(rule, counts)
+    if prof is not None:
+        # both subpopulations scatter through the *total* occupancy's
+        # profiles, exactly as the dense path shares one Q
+        lo, hi, diag = prof
+        new_civilians = _mnk.sample_scatter_banded(civilians[None, :], lo, hi,
+                                                   diag, rng)[0]
+        new_victims = _mnk.sample_scatter_banded(victim_counts[None, :], lo,
+                                                 hi, diag, rng)[0]
+        return new_civilians + new_victims, new_victims
+    Q = occupancy_transition_matrix(rule, counts, support)
     new_civilians = _scatter_counts(civilians, Q, rng)
     new_victims = _scatter_counts(victim_counts, Q, rng)
     return new_civilians + new_victims, new_victims
 
 
 def occupancy_round_batch(counts: np.ndarray, rule: Rule,
-                          rng: np.random.Generator) -> np.ndarray:
+                          rng: np.random.Generator, *,
+                          support: Optional[np.ndarray] = None) -> np.ndarray:
     """Advance ``R`` independent runs one synchronous round (exact, O(R·m²)).
 
     ``counts`` has shape ``(R, m)``: run ``r`` scatters each of its value
@@ -496,12 +623,17 @@ def occupancy_round_batch(counts: np.ndarray, rule: Rule,
     identically to :func:`occupancy_round` applied to that row alone.
     """
     counts = np.asarray(counts, dtype=np.int64)
-    Q = occupancy_transition_matrix_batch(rule, counts)
+    prof = _banded_profiles_if_fast(rule, counts)
+    if prof is not None:
+        lo, hi, diag = prof
+        return _mnk.sample_scatter_banded(counts, lo, hi, diag, rng)
+    Q = occupancy_transition_matrix_batch(rule, counts, support)
     return _scatter_counts_batch(counts, Q, rng)
 
 
 def occupancy_round_batch_split(counts: np.ndarray, victim_counts: np.ndarray,
-                                rule: Rule, rng: np.random.Generator
+                                rule: Rule, rng: np.random.Generator, *,
+                                support: Optional[np.ndarray] = None
                                 ) -> tuple[np.ndarray, np.ndarray]:
     """Batched :func:`occupancy_round_split`: ``(R, m)`` counts and victims.
 
@@ -517,7 +649,14 @@ def occupancy_round_batch_split(counts: np.ndarray, victim_counts: np.ndarray,
             "victim occupancy out of sync with the population counts "
             "(victim_counts must satisfy 0 <= victim_counts <= counts)"
         )
-    Q = occupancy_transition_matrix_batch(rule, counts)
+    prof = _banded_profiles_if_fast(rule, counts)
+    if prof is not None:
+        lo, hi, diag = prof
+        new_civilians = _mnk.sample_scatter_banded(civilians, lo, hi, diag, rng)
+        new_victims = _mnk.sample_scatter_banded(victim_counts, lo, hi, diag,
+                                                 rng)
+        return new_civilians + new_victims, new_victims
+    Q = occupancy_transition_matrix_batch(rule, counts, support)
     new_civilians = _scatter_counts_batch(civilians, Q, rng)
     new_victims = _scatter_counts_batch(victim_counts, Q, rng)
     return new_civilians + new_victims, new_victims
@@ -651,10 +790,11 @@ def simulate_occupancy(
 
         victims = adversary.victim_counts(support) if adversary.budget > 0 else None
         if victims is not None:
-            counts, new_victims = occupancy_round_split(counts, victims, rule, rng)
+            counts, new_victims = occupancy_round_split(counts, victims, rule,
+                                                        rng, support=support)
             adversary.observe_victim_scatter(support, new_victims)
         else:
-            counts = occupancy_round(counts, rule, rng)
+            counts = occupancy_round(counts, rule, rng, support=support)
 
         if adversary.budget > 0 and adversary.timing is AdversaryTiming.AFTER_SAMPLING:
             counts = adversary.corrupt_counts(support, counts, t, admissible, rng)

@@ -52,6 +52,15 @@ __all__ = ["CacheStats", "CachedSweepRunner", "StoreMissError",
 _UNSET: object = object()
 
 
+def _kernel_id() -> str:
+    """Resolved multinomial-kernel id for provenance; never raises."""
+    try:
+        from repro.engine.rng import multinomial_kernel_id
+        return multinomial_kernel_id()
+    except Exception:
+        return "unknown"
+
+
 class StoreMissError(LookupError):
     """An offline (zero-recompute) run hit a cell the store does not hold."""
 
@@ -193,6 +202,9 @@ class CachedSweepRunner:
             "seed": cell.seed,
             "engine": result.extra.get("engine", cell.engine),
             "elapsed_s": None if elapsed is None else round(elapsed, 6),
+            # which exact-multinomial kernel drew this cell: cached results
+            # stay attributable across the backend-scoped bit streams
+            "multinomial_kernel": _kernel_id(),
         })
         provenance.pop("cell_keys", None)   # a cell is not derived from cells
         return self.store.put(cell, result, provenance)

@@ -67,6 +67,7 @@ from repro.experiments.config import ExperimentConfig, SweepConfig
 from repro.experiments.results import CellResult
 from repro.experiments.runner import failed_cell_result, run_cell
 from repro.store.artifacts import build_provenance
+from repro.store.runner import _kernel_id
 from repro.store.store import ResultStore
 
 __all__ = ["LeaseManager", "ShardWorker", "ShardBackend",
@@ -353,6 +354,7 @@ class ShardWorker:
             "elapsed_s": round(time.perf_counter() - t0, 6),
             "worker": self.leases.worker,
             "backend": "shard",
+            "multinomial_kernel": _kernel_id(),
         })
         provenance.pop("cell_keys", None)
         self.store.put(cell, result, provenance)

@@ -387,6 +387,7 @@ class ResultStore:
             "T": config.get("adversary_budget", 0),
             "runs": config.get("num_runs", 0),
             "engine": provenance.get("engine", config.get("engine", "")),
+            "kernel": provenance.get("multinomial_kernel", ""),
             "created_at": provenance.get("created_at", ""),
         }
 
@@ -431,6 +432,13 @@ class ResultStore:
         sidecars = list(self.cells_dir.glob("*.npz"))
         n_quarantined = (len(list(self.quarantine_dir.iterdir()))
                          if self.quarantine_dir.exists() else 0)
+        # which multinomial kernels produced the cached cells (cell *keys*
+        # are kernel-independent; the bit streams are not, so attribution
+        # lives in provenance and is surfaced here)
+        kernels: Dict[str, int] = {}
+        for row in self.ls_rows():
+            label = row.get("kernel") or "unrecorded"
+            kernels[label] = kernels.get(label, 0) + 1
         return {
             "root": str(self.root),
             "schema": STORE_SCHEMA_VERSION,
@@ -439,4 +447,6 @@ class ResultStore:
             "sidecars": len(sidecars),
             "sidecar_bytes": sum(p.stat().st_size for p in sidecars),
             "quarantined": n_quarantined,
+            "multinomial_kernels": ", ".join(
+                f"{k}={v}" for k, v in sorted(kernels.items())) or "none",
         }

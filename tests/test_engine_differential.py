@@ -24,6 +24,8 @@ immediately.
 
 from __future__ import annotations
 
+import contextlib
+
 import pytest
 
 from equivalence import (
@@ -156,3 +158,67 @@ ONE_ROUND_SCENARIOS = [
 @pytest.mark.parametrize("sc", ONE_ROUND_SCENARIOS, ids=lambda sc: sc.name)
 def test_one_round_occupancy_distribution_matches_exactly(sc: EquivalenceScenario):
     assert_one_round_flows_match(sc, trials=3000, seed_base=50_000)
+
+
+# --------------------------------------------------------------------------- #
+# Compiled-kernel certification: the same harness, with the compiled
+# multinomial backend forced.  One scenario line per seam entry point:
+#
+#   * dense scatter + banded round   — median, looped occupancy engine;
+#   * fused per-round path           — median, occupancy-fused engine;
+#   * split-scatter (victim split)   — sticky adversary, both engines;
+#   * one-round exact flow law       — tiny-n L1/TV check.
+#
+# Skipped wholesale when no compiled provider exists on the host (the
+# numpy backend is already certified by every test above, since it is the
+# bit-identical legacy path).
+# --------------------------------------------------------------------------- #
+from repro.engine import resolve_multinomial_backend, set_multinomial_backend
+
+HAS_COMPILED = resolve_multinomial_backend("compiled").resolved == "compiled"
+
+needs_compiled = pytest.mark.skipif(
+    not HAS_COMPILED, reason="no compiled multinomial provider on this host")
+
+
+@contextlib.contextmanager
+def _compiled_kernel():
+    set_multinomial_backend("compiled")
+    try:
+        yield
+    finally:
+        set_multinomial_backend(None)
+
+
+COMPILED_SCENARIOS = [
+    ("occupancy", EquivalenceScenario("median/n=1000/noadv/compiled", 1000, 8,
+                                      MedianRule)),
+    ("occupancy-fused", EquivalenceScenario("median/n=1000/noadv/compiled",
+                                            1000, 8, MedianRule)),
+    ("occupancy", EquivalenceScenario("median/sticky/compiled", 600, 4,
+                                      MedianRule, _sticky(4))),
+    ("occupancy-fused", EquivalenceScenario("three-majority/sticky/compiled",
+                                            600, 4, TwoChoicesMajorityRule,
+                                            _sticky(4))),
+]
+
+
+@needs_compiled
+@pytest.mark.parametrize("engine,sc", COMPILED_SCENARIOS,
+                         ids=lambda v: v if isinstance(v, str) else v.name)
+def test_compiled_kernel_statistics_match(engine: str, sc: EquivalenceScenario):
+    vect = collect_convergence_rounds("vectorized", sc, RUNS, seed_base=210_000)
+    with _compiled_kernel():
+        fast = collect_convergence_rounds(engine, sc, RUNS, seed_base=220_000)
+    assert_rounds_equivalent(vect, fast, f"{sc.name} via {engine}")
+
+
+@needs_compiled
+@pytest.mark.parametrize("sc", [
+    EquivalenceScenario("median/noadv/1round/compiled", 12, 3, MedianRule),
+    EquivalenceScenario("median/sticky/1round/compiled", 12, 3, MedianRule,
+                        _sticky(3)),
+], ids=lambda sc: sc.name)
+def test_compiled_kernel_one_round_flows_match(sc: EquivalenceScenario):
+    with _compiled_kernel():
+        assert_one_round_flows_match(sc, trials=3000, seed_base=250_000)

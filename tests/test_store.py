@@ -432,6 +432,110 @@ class TestMajorityFamilyKeysAndReproducibility:
         assert store.contains(replace(cfg, engine="vectorized"))
 
 
+class TestKernelBackendScopedReproducibility:
+    """Seed-reproducibility contract of the multinomial-kernel seam.
+
+    Cell *keys* are kernel-independent (the backend is provenance, never key
+    material), bitwise equality of results is promised only *within* a
+    backend, the two backends agree in distribution, and every stored record
+    says which kernel produced it."""
+
+    @staticmethod
+    def _cell(num_runs=4, seed=21, name="kernel-cell") -> ExperimentConfig:
+        return ExperimentConfig(
+            name=name, workload="blocks", workload_params={"n": 256, "m": 4},
+            rule="median", num_runs=num_runs, max_rounds=400, seed=seed,
+            engine="occupancy-fused")
+
+    @staticmethod
+    def _backends():
+        from repro.engine import resolve_multinomial_backend
+
+        out = ["numpy"]
+        if resolve_multinomial_backend("compiled").resolved == "compiled":
+            out.append("compiled")
+        return out
+
+    @staticmethod
+    def _pinned(backend):
+        import contextlib
+
+        from repro.engine import set_multinomial_backend
+
+        @contextlib.contextmanager
+        def cm():
+            set_multinomial_backend(backend)
+            try:
+                yield
+            finally:
+                set_multinomial_backend(None)
+
+        return cm()
+
+    def test_cell_keys_are_kernel_independent(self):
+        keys = set()
+        for backend in self._backends():
+            with self._pinned(backend):
+                keys.add(cell_key(self._cell()))
+        assert len(keys) == 1
+
+    def test_bitwise_determinism_within_each_backend(self):
+        from repro.experiments.runner import run_cell
+
+        for backend in self._backends():
+            with self._pinned(backend):
+                a = run_cell(self._cell())
+                b = run_cell(self._cell())
+            assert a.rounds == b.rounds, backend
+            assert a.mean_rounds == b.mean_rounds, backend
+
+    def test_cross_backend_statistical_equality(self):
+        # backends are different bit streams drawing the same law: mean
+        # convergence rounds over a seed ensemble must agree within a
+        # Monte-Carlo band (two-sample z on 60 runs per backend)
+        backends = self._backends()
+        if len(backends) < 2:
+            pytest.skip("no compiled multinomial provider on this host")
+        from repro.experiments.runner import run_cell
+
+        stats = {}
+        for backend in backends:
+            with self._pinned(backend):
+                res = run_cell(self._cell(num_runs=60, seed=77))
+            rounds = [float(r) for r in res.rounds]
+            stats[backend] = (sum(rounds) / len(rounds), rounds)
+        mean_np, rounds_np = stats["numpy"]
+        mean_cc, rounds_cc = stats["compiled"]
+
+        def var(xs, mu):
+            return sum((x - mu) ** 2 for x in xs) / (len(xs) - 1)
+
+        se = math.sqrt(var(rounds_np, mean_np) / len(rounds_np)
+                       + var(rounds_cc, mean_cc) / len(rounds_cc))
+        assert abs(mean_np - mean_cc) <= max(4.0 * se, 0.75), (
+            f"numpy={mean_np:.2f} compiled={mean_cc:.2f} se={se:.3f}")
+
+    def test_provenance_records_multinomial_kernel(self, tmp_path):
+        from repro.engine import multinomial_kernel_id
+
+        for backend in self._backends():
+            store = ResultStore(tmp_path / f"store-{backend}")
+            with self._pinned(backend):
+                sweep = SweepConfig(name=f"kernel-{backend}")
+                sweep.add(self._cell(name=f"cell-{backend}"))
+                CachedSweepRunner(store).run(sweep)
+                expected = multinomial_kernel_id()
+            record = store.get(store.keys()[0])
+            assert record.provenance["multinomial_kernel"] == expected
+            if backend == "numpy":
+                assert expected == "numpy"
+            else:
+                assert expected.startswith("compiled:")
+            # surfaced by store.info() aggregation as well
+            assert any(expected in part
+                       for part in store.info()["multinomial_kernels"].split(","))
+
+
 class TestArtifacts:
     def test_build_provenance_shape(self):
         prov = build_provenance({"cell": "abc"}, extra={"note": "x"})
