@@ -135,6 +135,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="store per-run rounds as a compressed NPZ sidecar "
                           "for cells with at least R runs (JSON payload "
                           "stays canonical and references the sidecar)")
+    swp.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="per-cell attempt budget for transient failures "
+                          "(requires --store; default 1 = no retry); "
+                          "permanent errors never retry, exhausted cells "
+                          "surface as kind=transient-exhausted failures")
+    swp.add_argument("--deadline", type=float, default=None, metavar="S",
+                     help="wall-clock budget for the whole sweep in seconds "
+                          "(requires --store): expired retries surface as "
+                          "failures instead of hanging the fleet")
+    swp.add_argument("--fault-plan", default=None, metavar="PLAN",
+                     help="arm a deterministic fault-injection plan (inline "
+                          "JSON or a path to a JSON file; see "
+                          "repro.robustness.FaultPlan) — chaos testing the "
+                          "execution stack; workers inherit the plan")
 
     fig = sub.add_parser("figure1", help="regenerate the paper's Figure 1 table")
     fig.add_argument("--scale", type=float, default=1.0)
@@ -196,11 +210,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                       (("--backend", args.backend is not None),
                        ("--worker", args.worker),
                        ("--from-store", args.from_store),
-                       ("--sidecar-at", args.sidecar_at is not None)) if on]
+                       ("--sidecar-at", args.sidecar_at is not None),
+                       ("--retries", args.retries is not None),
+                       ("--deadline", args.deadline is not None)) if on]
     if store_features and (args.store is None or args.no_cache):
         print(f"error: {', '.join(store_features)} require(s) --store "
               f"without --no-cache", file=sys.stderr)
         return 2
+
+    if args.fault_plan is not None:
+        from repro.robustness import FaultPlan, activate
+        try:
+            activate(FaultPlan.load(args.fault_plan))
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            print(f"error: unusable --fault-plan: {exc}", file=sys.stderr)
+            return 2
 
     runner = None
     store = None
@@ -211,11 +235,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             # attach mode: this process becomes one extra shard worker on
             # the live store — no child fleet of its own
             backend = ShardBackend(workers=0)
+        retry = None
+        if args.retries is not None or args.deadline is not None:
+            from repro.robustness import RetryPolicy
+            retry = RetryPolicy(
+                max_attempts=args.retries if args.retries is not None else 1,
+                deadline_s=args.deadline)
         runner = CachedSweepRunner(
             store, rerun=args.rerun, backend=backend,
             max_workers=args.workers if args.workers is not None
             else (0 if backend is None else None),
-            offline=args.from_store)
+            offline=args.from_store, retry=retry)
         kwargs["runner"] = runner
 
     try:
@@ -271,10 +301,20 @@ def _cmd_store(args: argparse.Namespace) -> int:
     if args.store_command == "info":
         if args.key is None:
             from repro.engine.rng import multinomial_kernel_id
-            print(render_kv({
+            from repro.store.shard import failed_markers
+            info = {
                 **store.info(),
                 "kernel_this_process": multinomial_kernel_id(),
-            }, title=f"store {store.root}"))
+            }
+            markers = failed_markers(store.root)
+            if markers:
+                # per-cell attempt counts from the shard failure markers, so
+                # a fleet operator can see which cells are burning budget
+                info["failed_cells"] = "; ".join(
+                    f"{m.get('cell', '?')}: {m.get('attempts', 1)} attempt(s)"
+                    f" [{m.get('kind', 'unclassified')}] {m.get('error', '')}"
+                    for m in markers)
+            print(render_kv(info, title=f"store {store.root}"))
             return 0
         matches = [k for k in store.keys() if k.startswith(args.key)]
         if len(matches) != 1:

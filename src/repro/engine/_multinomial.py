@@ -51,6 +51,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.robustness.faults import fault_point
+
 __all__ = [
     "ENV_VAR",
     "BACKEND_CHOICES",
@@ -120,6 +122,10 @@ class _CcKernel:
     NAME = "cc"
 
     def __init__(self) -> None:
+        # fault seam: an injected failure here is indistinguishable from a
+        # real broken toolchain, so it exercises the production fallback
+        # (detection chain → NumPy + one MultinomialKernelWarning)
+        fault_point("kernel.compile", provider=self.NAME)
         lib = ctypes.CDLL(str(self._ensure_built()))
         lib.mnk_abi_version.restype = ctypes.c_int64
         lib.mnk_abi_version.argtypes = []
@@ -238,6 +244,7 @@ class _NumbaProvider:
     NAME = "numba"
 
     def __init__(self) -> None:
+        fault_point("kernel.compile", provider=self.NAME)
         from repro.engine import _multinomial_numba as mod
         mod.warm_up()
         self._mod = mod

@@ -17,6 +17,7 @@ and CI-friendly.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -27,6 +28,8 @@ from repro.adversary.strategies import make_adversary
 from repro.core.rules import get_rule
 from repro.core.state import Configuration
 from repro.engine.batch import BatchResult, run_batch
+from repro.robustness import DegradedExecutionWarning
+from repro.robustness.faults import fault_point, mark_worker_process
 
 __all__ = ["WorkItem", "execute_work_items", "format_cell_error",
            "iter_work_item_results", "recommended_workers"]
@@ -86,6 +89,9 @@ def format_cell_error(exc: BaseException) -> str:
 
 def _execute_one(item: WorkItem) -> Dict[str, Any]:
     """Worker entry point: run one cell and return a flat summary dict."""
+    # the pooled equivalent of run_cell's seam: "worker.compute" must cover
+    # every backend's per-cell compute entry, and pool workers enter here
+    fault_point("worker.compute", cell=item.label)
     # imported here so the worker process resolves registries on its side
     from repro.experiments.runner import resolve_cell_engine
     from repro.experiments.workloads import make_workload_for_engine
@@ -173,10 +179,16 @@ def execute_work_items(
         return [_execute_one_captured(item) for item in items]
 
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        fault_point("subprocess.spawn", backend="pool")
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=mark_worker_process) as pool:
             return list(pool.map(_execute_one_captured, items))
-    except (OSError, ValueError, RuntimeError):
+    except (OSError, ValueError, RuntimeError) as exc:
         # Sandboxed or fork-restricted environments: degrade gracefully.
+        warnings.warn(
+            f"process pool unavailable ({type(exc).__name__}: {exc}); "
+            f"degrading to serial in-process execution",
+            DegradedExecutionWarning, stacklevel=2)
         return [_execute_one_captured(item) for item in items]
 
 
@@ -202,16 +214,29 @@ def iter_work_item_results(
     done: set = set()
     if workers > 1 and len(items) > 1:
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            fault_point("subprocess.spawn", backend="pool")
+            with ProcessPoolExecutor(max_workers=workers,
+                                     initializer=mark_worker_process) as pool:
                 futures = {pool.submit(_execute_one_captured, item): i
                            for i, item in enumerate(items)}
                 for future in as_completed(futures):
                     index = futures[future]
+                    # result first: a future poisoned by a dead worker raises
+                    # here, and its index must stay NOT-done so the serial
+                    # fallback still computes it
+                    result = future.result()
                     done.add(index)
-                    yield index, future.result()
+                    yield index, result
             return
-        except (OSError, ValueError, RuntimeError):
-            pass   # sandboxed/fork-restricted: fall through to serial
+        except (OSError, ValueError, RuntimeError) as exc:
+            # degradation ladder: a pool that cannot start (sandbox) or that
+            # broke mid-sweep (a SIGKILLed worker → BrokenProcessPool, a
+            # RuntimeError subclass) falls back to serial execution of
+            # whatever was not already yielded — no cell is lost or re-run
+            warnings.warn(
+                f"process pool unavailable ({type(exc).__name__}: {exc}); "
+                f"completing the sweep serially in-process",
+                DegradedExecutionWarning, stacklevel=2)
     for i, item in enumerate(items):
         if i not in done:
             yield i, _execute_one_captured(item)

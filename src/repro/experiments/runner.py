@@ -50,6 +50,8 @@ from repro.experiments.workloads import (
     implied_support_width,
     make_workload_for_engine,
 )
+from repro.robustness.faults import fault_point
+from repro.robustness.retry import classify_error
 
 __all__ = [
     "EXECUTION_STATS",
@@ -96,6 +98,7 @@ def resolve_cell_engine(rule: str, adversary: str, engine: str,
 def run_cell(config: ExperimentConfig) -> CellResult:
     """Execute one experiment cell in-process and summarize it."""
     EXECUTION_STATS["run_cell_calls"] += 1
+    fault_point("worker.compute", cell=config.name)
     rule = get_rule(config.rule, **config.rule_params)
     engine = resolve_cell_engine(config.rule, config.adversary, config.engine,
                                  config.workload, config.workload_params)
@@ -149,14 +152,25 @@ def work_item_for_cell(cell: ExperimentConfig) -> WorkItem:
     )
 
 
-def failed_cell_result(cell: ExperimentConfig, error: str) -> CellResult:
+def failed_cell_result(cell: ExperimentConfig, error: str,
+                       attempts: int = 1,
+                       kind: Optional[str] = None) -> CellResult:
     """The canonical record of a cell whose execution raised.
 
     The metrics use ``inf`` (the existing "did not converge" value — and,
     unlike NaN, equal to itself) so failure-carrying reports compare equal
     across backends; the error string (exception type + message, see
-    :func:`repro.engine.parallel.format_cell_error`) rides in ``extra``.
+    :func:`repro.engine.parallel.format_cell_error`) rides in ``extra``
+    together with the attempt count and the failure *kind* —
+    ``"permanent"`` (a deterministic error, never retried) or
+    ``"transient-exhausted"`` (a transient error that survived every
+    attempt the :class:`~repro.robustness.RetryPolicy` budget allowed).
+    Every backend derives these identically from the error string, so
+    failure-carrying reports stay equal across backends.
     """
+    if kind is None:
+        kind = ("permanent" if classify_error(error) == "permanent"
+                else "transient-exhausted")
     return CellResult(
         config=cell,
         num_runs=0,
@@ -166,18 +180,23 @@ def failed_cell_result(cell: ExperimentConfig, error: str) -> CellResult:
         p90_rounds=float("inf"),
         max_rounds=float("inf"),
         rounds=[],
-        extra={"failed": True, "error": error},
+        extra={"failed": True, "error": error, "attempts": int(attempts),
+               "kind": kind},
     )
 
 
-def attach_failures(report: ExperimentReport) -> List[Dict[str, str]]:
+def attach_failures(report: ExperimentReport) -> List[Dict[str, Any]]:
     """Collect failed cells into ``report.meta["failures"]`` (and return them).
 
     The meta entry is only written when at least one cell failed, so clean
     reports keep their historical shape (and their equality with stored
     ones).  Entry order follows cell order, which every backend preserves.
+    Each entry carries the attempt count and the permanent /
+    transient-exhausted classification from :func:`failed_cell_result`.
     """
-    failures = [{"cell": c.config.name, "error": str(c.extra.get("error", ""))}
+    failures = [{"cell": c.config.name, "error": str(c.extra.get("error", "")),
+                 "attempts": int(c.extra.get("attempts", 1)),
+                 "kind": str(c.extra.get("kind", ""))}
                 for c in report.cells if c.extra.get("failed")]
     if failures:
         report.meta["failures"] = failures

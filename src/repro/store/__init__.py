@@ -11,8 +11,14 @@ lease-based multi-worker ``shard`` backend of :mod:`repro.store.shard`), and
 derived outputs (benchmarks, figures, saved reports) record their input keys
 and git revision via :mod:`repro.store.artifacts`.
 
+Execution robustness (payload/sidecar integrity verification on read with
+auto-quarantine, per-cell retry budgets with backoff, shard→pool→serial
+degradation, deterministic fault injection) is built on
+:mod:`repro.robustness` — see the README "Robustness" section.
+
 CLI surface: ``repro-consensus sweep --store DIR [--no-cache|--rerun]
-[--backend {serial,pool,shard}] [--workers K] [--worker] [--from-store]``
+[--backend {serial,pool,shard}] [--workers K] [--worker] [--from-store]
+[--retries N] [--deadline S] [--fault-plan PLAN]``
 and ``repro-consensus store {ls,info,gc}``.
 """
 
@@ -35,6 +41,7 @@ from repro.store.shard import (
     LeaseManager,
     ShardBackend,
     ShardWorker,
+    failed_markers,
     read_execution_log,
     run_sweep_sharded,
 )
@@ -57,6 +64,7 @@ __all__ = [
     "ShardBackend",
     "ShardWorker",
     "LeaseManager",
+    "failed_markers",
     "read_execution_log",
     "run_sweep_sharded",
     "resolve_backend",

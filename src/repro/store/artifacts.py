@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.io.serialization import from_jsonable, to_jsonable
+from repro.robustness.faults import maybe_torn
 
 __all__ = ["git_sha", "git_dirty", "build_provenance", "ArtifactRegistry"]
 
@@ -131,9 +132,11 @@ class ArtifactRegistry:
     def _write(self, records: List[Dict[str, Any]]) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema": 1, "artifacts": records}
+        text = json.dumps(to_jsonable(payload), indent=2, allow_nan=False) + "\n"
+        # fault seam: a torn ledger write must be tolerated by records()
+        text = maybe_torn("store.artifact_write", text, path=str(self.path))
         tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(to_jsonable(payload), indent=2,
-                                  allow_nan=False) + "\n")
+        tmp.write_text(text)
         os.replace(tmp, self.path)
 
     @staticmethod

@@ -43,6 +43,12 @@ from repro.experiments.runner import (
     work_item_for_cell,
     cell_result_from_pool_summary,
 )
+from repro.robustness.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryExhausted,
+    SweepDeadlineError,
+    call_with_retry,
+)
 
 if TYPE_CHECKING:   # pragma: no cover — typing only, avoids an import cycle
     from repro.store.runner import CachedSweepRunner
@@ -68,24 +74,49 @@ class ExecutionBackend(Protocol):
 
 
 class SerialBackend:
-    """Execute misses in-process, one cell at a time."""
+    """Execute misses in-process, one cell at a time.
+
+    Each cell (compute *and* persist) runs under the runner's
+    :class:`~repro.robustness.RetryPolicy`: transient errors are retried
+    with jittered backoff until the attempt budget or the sweep deadline
+    runs out, permanent errors fail on the first attempt — identically to
+    the other backends.
+    """
 
     name = "serial"
 
     def execute(self, sweep: SweepConfig, misses: List[int],
                 runner: "CachedSweepRunner") -> Dict[int, CellResult]:
+        retry = getattr(runner, "retry", DEFAULT_RETRY_POLICY)
+        deadline = getattr(runner, "_deadline", None)
         fresh: Dict[int, CellResult] = {}
         for i in misses:
             cell = sweep.cells[i]
-            t0 = time.perf_counter()
-            try:
+
+            def compute_and_persist(cell=cell):
+                t0 = time.perf_counter()
                 result = run_cell(cell)
+                # persisting inside the retried step means a failed write
+                # (beyond the unwritable-store degradation persist_fresh
+                # already absorbs) re-runs the whole cell, exactly like the
+                # shard protocol's payload-exists-means-done recovery
+                runner.persist_fresh(cell, result,
+                                     elapsed=time.perf_counter() - t0)
+                return result
+
+            try:
+                fresh[i] = call_with_retry(compute_and_persist, retry,
+                                           label=cell.name, deadline=deadline)
+            except RetryExhausted as exc:
+                fresh[i] = failed_cell_result(cell, exc.error,
+                                              attempts=exc.attempts,
+                                              kind="transient-exhausted")
+            except SweepDeadlineError as exc:
+                fresh[i] = failed_cell_result(
+                    cell, f"SweepDeadlineError: {exc}", attempts=0,
+                    kind="transient-exhausted")
             except Exception as exc:   # noqa: BLE001 — per-cell isolation
                 fresh[i] = failed_cell_result(cell, format_cell_error(exc))
-                continue
-            runner.persist_fresh(cell, result,
-                                 elapsed=time.perf_counter() - t0)
-            fresh[i] = result
         return fresh
 
 
@@ -104,6 +135,8 @@ class PoolBackend:
 
     def execute(self, sweep: SweepConfig, misses: List[int],
                 runner: "CachedSweepRunner") -> Dict[int, CellResult]:
+        retry = getattr(runner, "retry", DEFAULT_RETRY_POLICY)
+        deadline = getattr(runner, "_deadline", None)
         fresh: Dict[int, CellResult] = {}
         items = [work_item_for_cell(sweep.cells[i]) for i in misses]
         for idx, summary in iter_work_item_results(
@@ -111,10 +144,34 @@ class PoolBackend:
             i = misses[idx]
             cell = sweep.cells[i]
             result = cell_result_from_pool_summary(cell, summary)
+            if (result.extra.get("failed")
+                    and result.extra.get("kind") != "permanent"
+                    and retry.max_attempts > 1):
+                # transient pool failure with budget left: attempts 2..N run
+                # serially in this process (the pool already charged one)
+                result = self._retry_in_process(cell, result, runner, retry,
+                                                deadline)
             if not result.extra.get("failed"):
                 runner.persist_fresh(cell, result, elapsed=None)
             fresh[i] = result
         return fresh
+
+    @staticmethod
+    def _retry_in_process(cell, failed: CellResult, runner, retry,
+                          deadline) -> CellResult:
+        def compute(cell=cell):
+            return run_cell(cell)
+
+        try:
+            return call_with_retry(compute, retry, label=cell.name,
+                                   deadline=deadline, prior_attempts=1)
+        except RetryExhausted as exc:
+            return failed_cell_result(cell, exc.error, attempts=exc.attempts,
+                                      kind="transient-exhausted")
+        except SweepDeadlineError:
+            return failed   # out of time: the pool attempt's record stands
+        except Exception as exc:   # noqa: BLE001 — per-cell isolation
+            return failed_cell_result(cell, format_cell_error(exc))
 
 
 #: CLI-facing backend names (see :func:`resolve_backend`).

@@ -34,12 +34,15 @@ figure/table regeneration proves it simulated nothing (see
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.experiments.config import ExperimentConfig, SweepConfig
 from repro.experiments.results import CellResult, ExperimentReport
 from repro.experiments.runner import attach_failures
+from repro.robustness import DegradedExecutionWarning
+from repro.robustness.retry import DEFAULT_RETRY_POLICY, Deadline, RetryPolicy
 from repro.store.artifacts import build_provenance
 from repro.store.backends import ExecutionBackend, resolve_backend
 from repro.store.store import ResultStore, StoreRecord
@@ -118,18 +121,29 @@ class CachedSweepRunner:
         ``True`` forbids execution entirely: any miss raises
         :class:`StoreMissError`.  The zero-recompute mode behind
         ``sweep --from-store`` figure/table regeneration.
+    retry:
+        The :class:`~repro.robustness.RetryPolicy` every backend executes
+        misses under (attempt budget, jittered backoff, per-sweep
+        deadline).  The default — ``max_attempts=1``, no deadline — is
+        exactly the historical no-retry behavior.  Exhausted transient
+        cells and permanent errors both surface as canonical failures,
+        distinguished by ``kind`` in ``report.meta["failures"]``.
     """
 
     def __init__(self, store: ResultStore, rerun: bool = False,
                  max_workers: Optional[int] = 0,
                  backend: Union[str, ExecutionBackend, None] = None,
-                 offline: bool = False) -> None:
+                 offline: bool = False,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.store = store
         self.rerun = rerun
         self.max_workers = max_workers
         self.backend = backend
         self.offline = offline
+        self.retry = retry or DEFAULT_RETRY_POLICY
         self.last_stats = CacheStats()
+        self._deadline: Optional[Deadline] = None
+        self._persist_degraded = False
 
     # ------------------------------------------------------------------ #
     def partition(self, sweep: SweepConfig
@@ -171,8 +185,15 @@ class CachedSweepRunner:
         if misses and self.offline:
             raise StoreMissError([sweep.cells[i].name for i in misses])
         if misses:
+            # one wall-clock deadline for the whole sweep; every backend's
+            # retry loop (and the shard workers, via their spawn args)
+            # checks it so an unlucky fleet cannot hang past its budget
+            self._deadline = Deadline(self.retry.deadline_s)
             backend = resolve_backend(self.backend, max_workers)
-            fresh = backend.execute(sweep, misses, self)
+            try:
+                fresh = backend.execute(sweep, misses, self)
+            finally:
+                self._deadline = None
 
         report = ExperimentReport(name=sweep.name, description=sweep.description)
         keys: Dict[str, str] = {}
@@ -191,8 +212,24 @@ class CachedSweepRunner:
     # ------------------------------------------------------------------ #
     def persist_fresh(self, cell: ExperimentConfig, result: CellResult,
                       elapsed: Optional[float]) -> str:
-        """Persist one freshly executed cell (backends call this per cell)."""
-        key = self._persist(cell, result, elapsed)
+        """Persist one freshly executed cell (backends call this per cell).
+
+        Degradation ladder, last rung: when the store directory is not
+        writable the computed result is still returned to the report — it
+        just is not cached.  One :class:`DegradedExecutionWarning` is
+        emitted per runner, and the key is *not* counted as executed-and-
+        stored in :attr:`last_stats.executed`.
+        """
+        try:
+            key = self._persist(cell, result, elapsed)
+        except OSError as exc:
+            if not self._persist_degraded:
+                self._persist_degraded = True
+                warnings.warn(
+                    f"store {self.store.root} is not writable ({exc}); "
+                    f"results are returned but not persisted",
+                    DegradedExecutionWarning, stacklevel=2)
+            return self.store.key_for(cell)
         self.last_stats.executed.append(key)
         return key
 

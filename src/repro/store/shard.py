@@ -22,11 +22,18 @@ Lease lifecycle:
   (unlink).  Once the payload exists, the payload itself marks the cell done;
   the lease only guards the in-flight window.
 * a cell that **raises** rewrites its lease to ``state: "failed"`` (with the
-  cell label and the canonical error string) instead of persisting a payload.
-  Other workers treat a failed lease as "done (failed)" — the cell is not
-  retried within the run, and every worker reports the same failure.  A new
-  coordinated run (:class:`ShardBackend`) clears failed leases for its cells
-  first, so failures are retryable across runs.
+  cell label, the canonical error string, the attempt count consumed so far
+  and the permanent/transient classification) instead of persisting a
+  payload.  Under the default :class:`~repro.robustness.RetryPolicy`
+  (``max_attempts=1``) other workers treat a failed lease as "done
+  (failed)" — the cell is not retried within the run, and every worker
+  reports the same failure.  With a larger budget, transient failures are
+  retried: in place by the leasing worker (jittered backoff, lease held),
+  and — when a worker died between attempts — by any later worker, which
+  *claims* the marker (atomic unlink) and inherits its spent attempts, so
+  the budget holds across worker restarts.  A new coordinated run
+  (:class:`ShardBackend`) clears failed leases for its cells first, so
+  failures are retryable across runs.
 * a worker that **dies** leaves a ``running`` lease behind.  Stale-lease
   reclaim rules: a lease whose recorded host equals the local host is stale
   iff its pid is no longer alive (checked with ``kill(pid, 0)`` — immediate
@@ -58,6 +65,7 @@ import os
 import socket
 import time
 import uuid
+import warnings
 from dataclasses import replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -66,12 +74,26 @@ from repro.engine.parallel import format_cell_error, recommended_workers
 from repro.experiments.config import ExperimentConfig, SweepConfig
 from repro.experiments.results import CellResult
 from repro.experiments.runner import failed_cell_result, run_cell
+from repro.robustness import DegradedExecutionWarning, TornLogWarning
+from repro.robustness.faults import (
+    InjectedFault,
+    fault_point,
+    mark_worker_process,
+    maybe_torn,
+)
+from repro.robustness.retry import (
+    DEFAULT_RETRY_POLICY,
+    Deadline,
+    RetryPolicy,
+    classify_error,
+)
 from repro.store.artifacts import build_provenance
 from repro.store.runner import _kernel_id
 from repro.store.store import ResultStore
 
 __all__ = ["LeaseManager", "ShardWorker", "ShardBackend",
-           "read_execution_log", "run_sweep_sharded", "worker_identity"]
+           "read_execution_log", "failed_markers", "run_sweep_sharded",
+           "worker_identity"]
 
 #: Default staleness horizon for leases from *other* hosts (seconds).  Same-
 #: host leases use pid liveness instead and ignore this value.
@@ -115,7 +137,16 @@ class LeaseManager:
     # lease lifecycle
     # ------------------------------------------------------------------ #
     def acquire(self, key: str) -> bool:
-        """Try to take the lease for ``key``; exactly one caller wins."""
+        """Try to take the lease for ``key``; exactly one caller wins.
+
+        The ``lease.acquire`` fault seam fires *before* the file is created:
+        an injected raise therefore never leaves an orphan lease owned by a
+        live pid (which same-host reclaim would be blind to).  The
+        cooperative ``stale-clock`` shape backdates the freshly won lease
+        and records a foreign host, making this live owner look reclaimable
+        — the adversarial input to the stale-lease protocol.
+        """
+        spec = fault_point("lease.acquire", key=key, worker=self.worker)
         payload = json.dumps({
             "key": key,
             "worker": self.worker,
@@ -132,17 +163,62 @@ class LeaseManager:
             os.write(fd, payload.encode("utf-8"))
         finally:
             os.close(fd)
+        if spec is not None and spec.shape == "stale-clock":
+            self._apply_stale_clock(key, spec.skew_s)
         return True
 
+    def _apply_stale_clock(self, key: str, skew_s: float) -> None:
+        """Make this worker's live lease look stale (fault cooperation).
+
+        Rewrites the lease with a foreign hostname (so pid liveness does not
+        apply) and backdates its mtime past ``stale_after``, then relies on
+        the production reclaim protocol to steal it mid-compute.
+        """
+        path = self._path(key)
+        try:
+            lease = json.loads(path.read_text())
+            lease["host"] = f"fault-injected-{lease.get('host', '')}"
+            lease["acquired_at"] = time.time() - skew_s
+            path.write_text(json.dumps(lease))
+            back = time.time() - skew_s
+            os.utime(path, (back, back))
+        except (OSError, json.JSONDecodeError):
+            pass   # cooperation is best-effort; the run must stay correct
+
     def release(self, key: str) -> None:
-        """Drop a lease this worker holds (after persisting, or on skip)."""
+        """Drop a lease this worker holds (after persisting, or on skip).
+
+        A failed release is retried a few times before giving up: an
+        unreleased lease owned by a *live* process is invisible to same-host
+        reclaim, so release is the one lifecycle step where retrying in
+        place is the only self-healing option (if the process dies instead,
+        pid-liveness reclaim takes over).
+        """
+        for attempt in range(3):
+            try:
+                fault_point("lease.release", key=key, worker=self.worker)
+                break
+            except InjectedFault:
+                if attempt == 2:
+                    raise
+                time.sleep(0.01)
         try:
             self._path(key).unlink()
         except FileNotFoundError:
             pass   # reclaimed from under us; the payload still marks us done
 
-    def mark_failed(self, key: str, cell_name: str, error: str) -> None:
-        """Replace this worker's lease with a run-scoped failure marker."""
+    def mark_failed(self, key: str, cell_name: str, error: str,
+                    attempts: int = 1, kind: Optional[str] = None) -> None:
+        """Replace this worker's lease with a run-scoped failure marker.
+
+        The marker records how many attempts the cell has consumed and the
+        permanent / transient-exhausted classification, so a worker started
+        later in the same run can tell whether the retry budget allows it to
+        pick the cell back up (see :meth:`ShardWorker._resolve_one`).
+        """
+        if kind is None:
+            kind = ("permanent" if classify_error(error) == "permanent"
+                    else "transient-exhausted")
         path = self._path(key)
         tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps({
@@ -154,17 +230,28 @@ class LeaseManager:
             "state": "failed",
             "cell": cell_name,
             "error": error,
+            "attempts": int(attempts),
+            "kind": kind,
         }))
         os.replace(tmp, path)
 
-    def clear_failure(self, key: str) -> None:
-        """Remove a failed marker (coordinators do this to allow retries)."""
+    def clear_failure(self, key: str) -> bool:
+        """Remove a failed marker; ``True`` iff this caller removed it.
+
+        Coordinators call this to allow retries on a fresh run; workers call
+        it to *claim* an in-run retry when the marker's attempt count is
+        still under budget — the unlink is the atomic claim point (exactly
+        one of several racing workers gets ``True``), after which the normal
+        ``O_CREAT | O_EXCL`` acquire decides ownership.
+        """
         lease = self.peek(key)
-        if lease is not None and lease.get("state") == "failed":
-            try:
-                self._path(key).unlink()
-            except FileNotFoundError:
-                pass
+        if lease is None or lease.get("state") != "failed":
+            return False
+        try:
+            self._path(key).unlink()
+        except FileNotFoundError:
+            return False
+        return True
 
     def peek(self, key: str) -> Optional[Dict[str, Any]]:
         """The current lease record for ``key``, or ``None``."""
@@ -224,6 +311,7 @@ class LeaseManager:
         mutex is per filesystem-view; for cross-host stores on NFS-like
         mounts the re-verification still guards correctness best-effort.)
         """
+        fault_point("lease.reclaim", key=key, worker=self.worker)
         path = self._path(key)
         with self._reclaim_mutex():
             current = self.peek(key)
@@ -242,25 +330,68 @@ class LeaseManager:
     # ------------------------------------------------------------------ #
     # execution log (store-level compute counter)
     # ------------------------------------------------------------------ #
-    def log_execution(self, key: str, cell_name: str) -> None:
+    def log_execution(self, key: str, cell_name: str,
+                      attempts: int = 1) -> None:
         line = json.dumps({"key": key, "cell": cell_name,
                            "worker": self.worker, "pid": os.getpid(),
+                           "attempts": int(attempts),
                            "at": time.time()}) + "\n"
+        # fault seam: ``torn-write`` appends half a line (no newline), the
+        # torn half and the next append glue into one undecodable line —
+        # exactly what a worker killed mid-append leaves behind
+        line = maybe_torn("shard.log_append", line, key=key)
         # O_APPEND single small write: atomic on POSIX, no interleaving
         with open(self.log_path, "a") as fh:
             fh.write(line)
 
 
 def read_execution_log(store_root: str | Path) -> List[Dict[str, Any]]:
-    """All completed-compute records (one per executed cell, append order)."""
+    """All completed-compute records (one per executed cell, append order).
+
+    A worker killed mid-append leaves a truncated trailing line (which the
+    next append then glues onto).  Undecodable lines are *skipped* with one
+    :class:`TornLogWarning` — the ledger under-counts those computes rather
+    than refusing to read at all, which is the safe direction for its
+    "no cell computed more than its budget" invariant.
+    """
     path = Path(store_root) / "shard" / "executions.jsonl"
     if not path.exists():
         return []
     records = []
+    damaged = 0
     for line in path.read_text().splitlines():
-        if line.strip():
+        if not line.strip():
+            continue
+        try:
             records.append(json.loads(line))
+        except json.JSONDecodeError:
+            damaged += 1
+    if damaged:
+        warnings.warn(
+            f"execution log {path} contained {damaged} undecodable line(s) "
+            f"(torn append); skipped", TornLogWarning, stacklevel=2)
     return records
+
+
+def failed_markers(store_root: str | Path) -> List[Dict[str, Any]]:
+    """All ``state:"failed"`` lease markers currently on disk.
+
+    Each marker carries ``cell``, ``error``, ``attempts`` and ``kind`` (see
+    :meth:`LeaseManager.mark_failed`); ``repro store info`` surfaces them as
+    per-cell attempt counts.  Undecodable marker files are skipped.
+    """
+    leases_dir = Path(store_root) / "shard" / "leases"
+    if not leases_dir.exists():
+        return []
+    markers = []
+    for path in sorted(leases_dir.glob("*.json")):
+        try:
+            lease = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, ValueError):
+            continue
+        if isinstance(lease, dict) and lease.get("state") == "failed":
+            markers.append(lease)
+    return markers
 
 
 class ShardWorker:
@@ -276,25 +407,49 @@ class ShardWorker:
 
     def __init__(self, store: ResultStore, worker: Optional[str] = None,
                  stale_after: float = DEFAULT_STALE_AFTER,
-                 poll_interval: float = DEFAULT_POLL_INTERVAL) -> None:
+                 poll_interval: float = DEFAULT_POLL_INTERVAL,
+                 retry: Optional[RetryPolicy] = None,
+                 deadline: Optional[Deadline] = None) -> None:
         self.store = store
         self.leases = LeaseManager(store.root, worker=worker,
                                    stale_after=stale_after)
         self.poll_interval = float(poll_interval)
+        self.retry = retry or DEFAULT_RETRY_POLICY
+        self.deadline = deadline
         self.computed: List[str] = []
 
     # ------------------------------------------------------------------ #
     def run(self, sweep: SweepConfig) -> Dict[int, CellResult]:
-        """Resolve every cell of ``sweep``; returns results by position."""
+        """Resolve every cell of ``sweep``; returns results by position.
+
+        Lease-layer hiccups (an injected fault or a transient ``OSError``
+        from acquire/reclaim/release plumbing) leave the affected cell
+        *pending* for the next pass instead of killing the worker — the
+        store protocol is already built so that any interrupted step is
+        recoverable, so the loop simply goes around again.  When the
+        sweep's wall-clock deadline expires, cells still pending surface as
+        canonical failures instead of hanging the fleet.
+        """
         cells = list(sweep.cells)
         keys = [self.store.key_for(cell) for cell in cells]
         resolved: Dict[int, CellResult] = {}
         pending = list(range(len(cells)))
         while pending:
+            if self.deadline is not None and self.deadline.expired():
+                for i in pending:
+                    resolved[i] = failed_cell_result(
+                        cells[i],
+                        f"SweepDeadlineError: sweep deadline of "
+                        f"{self.deadline.seconds}s expired",
+                        attempts=0, kind="transient-exhausted")
+                break
             progressed = False
             still_pending: List[int] = []
             for i in pending:
-                result = self._resolve_one(cells[i], keys[i])
+                try:
+                    result = self._resolve_one(cells[i], keys[i])
+                except (InjectedFault, OSError):
+                    result = None   # lease-layer hiccup: retry next pass
                 if result is None:
                     still_pending.append(i)
                 else:
@@ -313,11 +468,26 @@ class ShardWorker:
             # served under the requesting sweep's config (an overlapping
             # sweep may have persisted it under a different label)
             return replace(record.result, config=cell)
+        prior_attempts = 0
         lease = self.leases.peek(key)
         if lease is not None:
             if lease.get("state") == "failed":
-                return failed_cell_result(cell, str(lease.get("error", "")))
-            if self.leases.is_stale(key, lease):
+                attempts = int(lease.get("attempts", 1) or 1)
+                kind = str(lease.get("kind", "")) or (
+                    "permanent"
+                    if classify_error(str(lease.get("error", ""))) == "permanent"
+                    else "transient-exhausted")
+                if kind == "permanent" or attempts >= self.retry.max_attempts:
+                    # budget exhausted (or deterministic error): done (failed)
+                    return failed_cell_result(cell, str(lease.get("error", "")),
+                                              attempts=attempts, kind=kind)
+                # budget remains: claim the in-run retry.  The marker unlink
+                # is the atomic claim (one winner among racing workers); the
+                # spent attempts carry over into this worker's budget.
+                if not self.leases.clear_failure(key):
+                    return None   # another worker claimed it; poll again
+                prior_attempts = attempts
+            elif self.leases.is_stale(key, lease):
                 self.leases.reclaim(key, lease)
             else:
                 return None   # live worker owns it; poll again later
@@ -330,7 +500,7 @@ class ShardWorker:
             record = self.store.get(key)
             if record is not None:
                 return replace(record.result, config=cell)
-            result = self._compute(cell, key)
+            result = self._compute(cell, key, prior_attempts=prior_attempts)
             failed = bool(result.extra.get("failed"))
             return result
         finally:
@@ -340,14 +510,39 @@ class ShardWorker:
             if not failed:
                 self.leases.release(key)
 
-    def _compute(self, cell: ExperimentConfig, key: str) -> CellResult:
+    def _compute(self, cell: ExperimentConfig, key: str,
+                 prior_attempts: int = 0) -> CellResult:
+        """Compute one leased cell under the worker's retry policy.
+
+        Transient errors are retried in place (jittered backoff, the lease
+        held throughout) until the per-cell attempt budget — including
+        ``prior_attempts`` inherited from an earlier worker's failure
+        marker — or the sweep deadline runs out; permanent errors and
+        exhausted budgets write the failure marker with the total attempt
+        count.  Successful computes record their attempt count in the
+        execution ledger.
+        """
         t0 = time.perf_counter()
-        try:
-            result = run_cell(cell)
-        except Exception as exc:   # noqa: BLE001 — per-cell isolation
-            error = format_cell_error(exc)
-            self.leases.mark_failed(key, cell.name, error)
-            return failed_cell_result(cell, error)
+        attempts = prior_attempts
+        while True:
+            attempts += 1
+            try:
+                result = run_cell(cell)
+                break
+            except Exception as exc:   # noqa: BLE001 — per-cell isolation
+                error = format_cell_error(exc)
+                kind = classify_error(exc)
+                out_of_time = (self.deadline is not None
+                               and self.deadline.expired())
+                if kind == "permanent" or attempts >= self.retry.max_attempts \
+                        or out_of_time:
+                    final = ("permanent" if kind == "permanent"
+                             else "transient-exhausted")
+                    self.leases.mark_failed(key, cell.name, error,
+                                            attempts=attempts, kind=final)
+                    return failed_cell_result(cell, error, attempts=attempts,
+                                              kind=final)
+                time.sleep(self.retry.backoff_s(attempts, token=key))
         provenance = build_provenance(extra={
             "seed": cell.seed,
             "engine": result.extra.get("engine", cell.engine),
@@ -358,19 +553,26 @@ class ShardWorker:
         })
         provenance.pop("cell_keys", None)
         self.store.put(cell, result, provenance)
-        self.leases.log_execution(key, cell.name)
+        self.leases.log_execution(key, cell.name, attempts=attempts)
         self.computed.append(key)
         return result
 
 
 def _shard_worker_main(store_root: str, sweep_dict: Dict[str, Any],
                        worker: str, stale_after: float, poll_interval: float,
-                       rounds_sidecar_at: Optional[int]) -> None:
+                       rounds_sidecar_at: Optional[int],
+                       retry_dict: Optional[Dict[str, Any]] = None,
+                       deadline_s: Optional[float] = None) -> None:
     """Child-process entry point (top-level so it pickles under spawn)."""
+    mark_worker_process()   # worker_only faults (kill-worker) may fire here
     store = ResultStore(store_root, rounds_sidecar_at=rounds_sidecar_at)
     sweep = SweepConfig.from_dict(sweep_dict)
+    retry = (RetryPolicy.from_dict(retry_dict) if retry_dict
+             else DEFAULT_RETRY_POLICY)
+    deadline = Deadline(deadline_s) if deadline_s is not None else None
     ShardWorker(store, worker=worker, stale_after=stale_after,
-                poll_interval=poll_interval).run(sweep)
+                poll_interval=poll_interval, retry=retry,
+                deadline=deadline).run(sweep)
 
 
 class ShardBackend:
@@ -397,7 +599,26 @@ class ShardBackend:
                 runner) -> Dict[int, CellResult]:
         store: ResultStore = runner.store
         keys = [store.key_for(cell) for cell in sweep.cells]
-        manager = LeaseManager(store.root, stale_after=self.stale_after)
+        retry: RetryPolicy = getattr(runner, "retry", DEFAULT_RETRY_POLICY)
+        deadline: Optional[Deadline] = getattr(runner, "_deadline", None)
+        try:
+            manager = LeaseManager(store.root, stale_after=self.stale_after)
+            # probe: leases must be creatable, or no worker can make progress
+            probe = manager.leases_dir / f".probe.{os.getpid()}"
+            probe.write_text("")
+            probe.unlink()
+        except OSError as exc:
+            # degradation ladder, rung 1: without writable lease
+            # infrastructure (read-only store dir, dead shared mount) shard
+            # coordination is impossible — the pool backend still computes
+            # everything in-process-tree and the runner persists what it can
+            warnings.warn(
+                f"shard backend: lease infrastructure unavailable under "
+                f"{store.root} ({exc}); degrading to pool execution",
+                DegradedExecutionWarning, stacklevel=2)
+            from repro.store.backends import PoolBackend
+
+            return PoolBackend(self.workers).execute(sweep, misses, runner)
         for i in misses:
             # a fresh coordinated run retries cells that failed previously
             manager.clear_failure(keys[i])
@@ -413,6 +634,7 @@ class ShardBackend:
         procs = []
         if workers >= 1 and misses:
             try:
+                fault_point("subprocess.spawn", backend="shard")
                 import multiprocessing
 
                 for w in range(workers):
@@ -420,7 +642,10 @@ class ShardBackend:
                         target=_shard_worker_main,
                         args=(str(store.root), sweep.to_dict(),
                               f"{worker_identity()}#w{w}", self.stale_after,
-                              self.poll_interval, store.rounds_sidecar_at),
+                              self.poll_interval, store.rounds_sidecar_at,
+                              retry.to_dict(),
+                              None if deadline is None
+                              else deadline.remaining()),
                         daemon=True,
                     )
                     proc.start()
@@ -434,7 +659,8 @@ class ShardBackend:
         # (crashes, sandboxes) and reads every resolved cell back from the
         # store, waiting on still-live foreign workers when sweeps overlap.
         mop_up = ShardWorker(store, stale_after=self.stale_after,
-                             poll_interval=self.poll_interval)
+                             poll_interval=self.poll_interval,
+                             retry=retry, deadline=deadline)
         resolved = mop_up.run(sweep)
         runner.last_stats.executed.extend(
             keys[i] for i in misses if store.contains(keys[i]))

@@ -20,7 +20,8 @@ Each payload record carries::
       "config": {...},        # the config as submitted (incl. name/engine)
       "result": {...},        # CellResult.to_dict()
       "provenance": {seed, engine (resolved), elapsed_s, package_version,
-                     git_sha, created_at}
+                     git_sha, created_at},
+      "integrity": {"algo": "sha256", "sha256": "<hash of the record body>"}
     }
 
 The payload files are the source of truth: ``contains``/``get`` go straight
@@ -30,6 +31,15 @@ to ``cells/<key>.json`` and ``index.json`` is a regenerable convenience for
 worst the interrupted cell is re-executed on resume.  A payload that fails to
 parse (or lacks its required fields) is *quarantined*: moved into
 ``quarantine/`` and treated as a cache miss, never deleted silently.
+
+Integrity verification happens on **read**, not just during ``gc``:
+``put`` stamps every record with a sha256 over its canonical body, and
+``get`` recomputes it (after the schema check — an intact record from
+another version is a *miss*, never corruption).  A mismatch — bit rot, a
+torn write that still parses, a hand-edited payload — quarantines the
+payload (and its sidecar) with one :class:`StoreIntegrityWarning`, and the
+cell is recomputed transparently by the next coordinated run.  Records
+written before the integrity field existed verify by parse/shape alone.
 
 NPZ rounds sidecars
 -------------------
@@ -54,6 +64,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional
@@ -63,6 +74,8 @@ import numpy as np
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import CellResult
 from repro.io.serialization import from_jsonable, to_jsonable
+from repro.robustness import StoreIntegrityWarning
+from repro.robustness.faults import fault_point
 from repro.store.hashing import cell_key, short_key
 
 __all__ = ["STORE_SCHEMA_VERSION", "StoreRecord", "ResultStore"]
@@ -84,10 +97,27 @@ class StoreRecord:
     schema: int = STORE_SCHEMA_VERSION
 
 
-def _atomic_write_json(path: Path, payload: Any) -> None:
+def _atomic_write_json(path: Path, payload: Any,
+                       seam: Optional[str] = None) -> None:
+    text = json.dumps(to_jsonable(payload), indent=2, allow_nan=False)
+    if seam is not None:
+        # fault seam: ``raise``/``delay`` apply here; ``torn-write`` models a
+        # non-atomic writer (crash between write and fsync) by letting the
+        # truncated text reach the canonical file — read-time verification
+        # must catch it
+        spec = fault_point(seam, path=str(path))
+        if spec is not None and spec.shape == "torn-write":
+            text = text[:max(1, len(text) // 2)]
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(to_jsonable(payload), indent=2, allow_nan=False))
+    tmp.write_text(text)
     os.replace(tmp, path)
+
+
+def _integrity_digest(jsonable_record: Dict[str, Any]) -> str:
+    """sha256 over the canonical dump of a record body (sans ``integrity``)."""
+    return hashlib.sha256(
+        json.dumps(jsonable_record, sort_keys=True, separators=(",", ":"),
+                   allow_nan=False).encode()).hexdigest()
 
 
 class ResultStore:
@@ -157,12 +187,19 @@ class ResultStore:
             with open(tmp, "wb") as fh:
                 np.savez_compressed(
                     fh, rounds=np.asarray(result.rounds, dtype=np.float64))
+            data = tmp.read_bytes()
+            digest = hashlib.sha256(data).hexdigest()
+            # fault seam: a torn sidecar keeps the payload's reference hash
+            # of the *intended* bytes, so the mismatch is detectable on read
+            spec = fault_point("store.sidecar_write", key=key)
+            if spec is not None and spec.shape == "torn-write":
+                tmp.write_bytes(data[:max(1, len(data) // 2)])
             os.replace(tmp, sidecar)
             result_dict["rounds"] = []
             result_dict["rounds_ref"] = {
                 "format": "npz",
                 "file": sidecar.name,
-                "sha256": hashlib.sha256(sidecar.read_bytes()).hexdigest(),
+                "sha256": digest,
                 "count": len(result.rounds),
             }
         record = {
@@ -172,9 +209,12 @@ class ResultStore:
             "result": result_dict,
             "provenance": dict(provenance or {}),
         }
+        record["integrity"] = {"algo": "sha256",
+                               "sha256": _integrity_digest(to_jsonable(record))}
         # the payload is the source of truth; the display index is refreshed
         # lazily by ls_rows()/gc(), keeping this per-cell hot path O(1)
-        _atomic_write_json(self._payload_path(key), record)
+        _atomic_write_json(self._payload_path(key), record,
+                           seam="store.payload_write")
         if not use_sidecar and sidecar.exists():
             sidecar.unlink()   # overwrite dropped the reference: no orphan
         return key
@@ -182,8 +222,13 @@ class ResultStore:
     def get(self, config_or_key: ExperimentConfig | str) -> Optional[StoreRecord]:
         """Load a record, or ``None`` on miss / schema mismatch / corruption.
 
-        A payload that cannot be parsed into a valid record is moved to
-        ``quarantine/`` (preserved for inspection) and reported as a miss.
+        Every read verifies the record: JSON parse, the ``integrity`` sha256
+        stamped by :meth:`put` (checked *after* the schema gate, so intact
+        records from other versions stay plain misses), and the sidecar hash
+        when a ``rounds_ref`` is present.  A payload that fails any check is
+        moved to ``quarantine/`` (preserved for inspection) with one
+        :class:`StoreIntegrityWarning` and reported as a miss — the cell is
+        recomputed transparently by the next coordinated run.
         """
         key = (config_or_key if isinstance(config_or_key, str)
                else self.key_for(config_or_key))
@@ -191,8 +236,8 @@ class ResultStore:
         if not path.exists():
             return None
         try:
-            raw = from_jsonable(json.loads(path.read_text()))
-            if not self._schema_compatible(raw):
+            raw = self._load_verified(path)
+            if raw is None:
                 return None   # written by another version: a miss, not damage
             self._attach_sidecar_rounds(raw, key)
             return StoreRecord(
@@ -203,12 +248,39 @@ class ResultStore:
                 schema=int(raw["schema"]),
             )
         except (json.JSONDecodeError, AttributeError, KeyError, TypeError,
-                ValueError):
+                ValueError) as exc:
             self._quarantine(path)
             sidecar = self._sidecar_path(key)
             if sidecar.exists():
                 self._quarantine(sidecar)   # keep the pair inspectable together
+            warnings.warn(
+                f"store entry {short_key(key)} failed verification and was "
+                f"quarantined ({exc}); the cell will be recomputed",
+                StoreIntegrityWarning, stacklevel=2)
             return None
+
+    def _load_verified(self, path: Path) -> Optional[Dict[str, Any]]:
+        """Parse + verify one payload; ``None`` = stale miss, raise = damage.
+
+        The order matters: the schema gate runs on the parsed body *before*
+        the integrity hash is checked, so records written under another
+        schema version — intact data this process simply cannot serve — are
+        misses, while a body that no longer matches its own stamp (bit rot,
+        torn write, hand edit) raises ``ValueError`` into the quarantine
+        path.  Pre-integrity records (no ``integrity`` field) verify by
+        parse/shape alone.
+        """
+        parsed = json.loads(path.read_text())
+        integrity = parsed.pop("integrity", None)
+        if not self._schema_compatible(parsed):
+            return None
+        if integrity is not None:
+            recorded = (integrity.get("sha256")
+                        if isinstance(integrity, dict) else None)
+            if _integrity_digest(parsed) != recorded:
+                raise ValueError("payload body does not match its integrity "
+                                 "sha256")
+        return from_jsonable(parsed)
 
     def _attach_sidecar_rounds(self, raw: Dict[str, Any], key: str) -> None:
         """Inline a payload's sidecar rounds; raise ``ValueError`` on damage.
@@ -315,14 +387,15 @@ class ResultStore:
         for path in sorted(self.cells_dir.glob("*.json")):
             key = path.stem
             try:
-                raw = from_jsonable(json.loads(path.read_text()))
-                if not self._schema_compatible(raw):
+                raw = self._load_verified(path)
+                if raw is None:
                     # intact record from another version: stale, not corrupt
+                    stale = from_jsonable(json.loads(path.read_text()))
                     if drop_schema_mismatch:
                         path.unlink()
                         dropped += 1
-                    elif isinstance(raw.get("result"), dict) and \
-                            raw["result"].get("rounds_ref"):
+                    elif isinstance(stale.get("result"), dict) and \
+                            stale["result"].get("rounds_ref"):
                         referenced_sidecars.add(key)   # keep its sidecar too
                     continue
                 self._attach_sidecar_rounds(raw, key)
@@ -393,6 +466,7 @@ class ResultStore:
 
     def rebuild_index(self) -> Dict[str, Any]:
         """Regenerate ``index.json`` by scanning the payload directory."""
+        fault_point("store.index_rebuild", root=str(self.root))
         entries: Dict[str, Any] = {}
         for path in sorted(self.cells_dir.glob("*.json")):
             try:

@@ -1,0 +1,162 @@
+"""Reusable seeded chaos harness for execution-stack certification.
+
+Mirrors :mod:`equivalence` (the statistical-equivalence harness): a single
+reusable entry point that tests and the CI smoke leg share, so every fault
+schedule is certified against the same invariants.
+
+:func:`run_chaos_trial` executes one real sharded sweep under a fault
+schedule (either a pinned :class:`~repro.robustness.FaultPlan` or a
+randomized one fully derived from an integer seed), with a generous per-cell
+attempt budget so the repeat-N-then-heal contract lets every plan complete.
+:func:`assert_chaos_invariants` then certifies the outcome:
+
+1. the chaos-run report equals a clean serial reference run — faults change
+   *how* the sweep executed, never *what* it reports;
+2. the execution ledger shows no cell computed (or attempted) more times
+   than the retry budget — recovery never degenerates into a retry storm;
+3. no lease or failure-marker files survive the run — every code path
+   releases or reclaims what it holds;
+4. after a ``gc`` pass (which quarantines any torn payload whose final
+   write was never re-read), a warm faults-off run over the same store
+   still equals the clean reference — quarantine is self-healing, not data
+   loss.
+
+A trial's full schedule reproduces from its seed alone, so a CI failure is
+one ``FaultPlan.random(seed)`` away from a local repro.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.config import ExperimentConfig, SweepConfig
+from repro.experiments.results import ExperimentReport
+from repro.robustness import (
+    FaultPlan,
+    RetryPolicy,
+    activate,
+    deactivate,
+    read_fault_journal,
+)
+from repro.store import (
+    CachedSweepRunner,
+    ResultStore,
+    ShardBackend,
+    read_execution_log,
+)
+
+__all__ = ["ChaosOutcome", "chaos_sweep", "clean_reference",
+           "run_chaos_trial", "assert_chaos_invariants"]
+
+#: Generous per-cell attempt budget: the worst randomized schedule (raise
+#: ``times<=2`` per process, at most one stale-clock and one kill-worker)
+#: stays strictly inside it, so budget exhaustion under chaos is a bug.
+CHAOS_RETRY = RetryPolicy(max_attempts=6, base_delay_s=0.005,
+                          max_delay_s=0.02)
+
+
+def chaos_sweep() -> SweepConfig:
+    """A small but real sweep: 4 cells, sidecar-sized rounds, distinct keys."""
+    sweep = SweepConfig(name="chaos", description="seeded chaos certification")
+    for n in (24, 32, 40, 48):
+        sweep.add(ExperimentConfig(name=f"n={n}", workload="all-distinct",
+                                   workload_params={"n": n},
+                                   num_runs=2, seed=11))
+    return sweep
+
+
+def clean_reference(root: Path) -> ExperimentReport:
+    """The faults-off serial baseline every chaos report must equal."""
+    runner = CachedSweepRunner(ResultStore(Path(root) / "clean-store"),
+                               backend="serial")
+    return runner.run(chaos_sweep())
+
+
+@dataclass
+class ChaosOutcome:
+    """Everything one chaos trial produced, for invariant checks and repro."""
+
+    seed: int
+    plan: FaultPlan
+    report: ExperimentReport
+    clean: ExperimentReport
+    warm: ExperimentReport                 # faults-off rerun after gc
+    store_root: Path
+    ledger: List[Dict[str, Any]] = field(default_factory=list)
+    journal: List[Dict[str, Any]] = field(default_factory=list)
+    gc_counts: Dict[str, int] = field(default_factory=dict)
+    leftover_leases: List[str] = field(default_factory=list)
+
+    def fired_seams(self) -> Counter:
+        return Counter(record["seam"] for record in self.journal)
+
+
+def run_chaos_trial(root: Path, seed: int, workers: int = 2,
+                    plan: Optional[FaultPlan] = None,
+                    clean: Optional[ExperimentReport] = None,
+                    retry: RetryPolicy = CHAOS_RETRY) -> ChaosOutcome:
+    """One full trial: clean reference, faulted shard run, gc, warm rerun.
+
+    ``plan`` defaults to ``FaultPlan.random(seed)`` journaling into
+    ``root/journal.jsonl``; pass a pinned plan (CI smoke leg) to control the
+    schedule exactly.  ``clean`` lets callers amortize the reference run
+    across many seeds.  Fault injection is always disarmed on exit, even
+    when the trial raises.
+    """
+    root = Path(root)
+    if clean is None:
+        clean = clean_reference(root)
+    if plan is None:
+        plan = FaultPlan.random(seed, journal=root / "journal.jsonl")
+    store = ResultStore(root / "store", rounds_sidecar_at=1)
+    sweep = chaos_sweep()
+
+    activate(plan)   # env handoff arms the spawned shard workers too
+    try:
+        runner = CachedSweepRunner(
+            store,
+            backend=ShardBackend(workers=workers, stale_after=2.0,
+                                 poll_interval=0.02),
+            retry=retry)
+        report = runner.run(sweep)
+    finally:
+        deactivate()
+
+    leftover = sorted(p.name for p in
+                      (store.root / "shard" / "leases").glob("*.json"))
+    ledger = read_execution_log(store.root)
+    journal = read_fault_journal(plan.journal) if plan.journal else []
+    gc_counts = store.gc()
+    warm = CachedSweepRunner(store, backend="serial").run(sweep)
+    return ChaosOutcome(seed=seed, plan=plan, report=report, clean=clean,
+                        warm=warm, store_root=store.root, ledger=ledger,
+                        journal=journal, gc_counts=gc_counts,
+                        leftover_leases=leftover)
+
+
+def assert_chaos_invariants(outcome: ChaosOutcome,
+                            budget: Optional[RetryPolicy] = None) -> None:
+    """Certify one trial (see the module docstring for the invariant list)."""
+    budget = budget or CHAOS_RETRY
+    label = (f"chaos seed {outcome.seed}: "
+             f"plan={json.loads(outcome.plan.to_json())['specs']}")
+
+    assert outcome.report == outcome.clean, \
+        f"{label} — faulted report diverged from the clean serial reference"
+
+    per_key = Counter(record["key"] for record in outcome.ledger)
+    storms = {k: c for k, c in per_key.items() if c > budget.max_attempts}
+    assert not storms, f"{label} — retry storm: {storms}"
+    overdrawn = [record for record in outcome.ledger
+                 if int(record.get("attempts", 1)) > budget.max_attempts]
+    assert not overdrawn, f"{label} — ledger attempts exceed budget: {overdrawn}"
+
+    assert not outcome.leftover_leases, \
+        f"{label} — orphan lease/marker files: {outcome.leftover_leases}"
+
+    assert outcome.warm == outcome.clean, \
+        f"{label} — post-gc warm rerun diverged (quarantine lost data)"
