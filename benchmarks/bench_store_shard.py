@@ -34,6 +34,8 @@ import time
 from pathlib import Path
 
 from repro.experiments.config import ExperimentConfig, SweepConfig
+from repro.obs import trace as obs_trace
+from repro.obs.export import merge_trace
 from repro.store import (
     ArtifactRegistry,
     CachedSweepRunner,
@@ -76,27 +78,58 @@ def run(reduced: bool = False) -> dict:
 
     with tempfile.TemporaryDirectory() as tmp:
         tmp = Path(tmp)
-        serial_runner = CachedSweepRunner(ResultStore(tmp / "serial"),
-                                          backend="serial")
-        serial_report, serial_s = _timed(lambda: serial_runner.run(sweep))
+        # every stage runs under a bench.stage span in one trace: the
+        # per-stage breakdown below comes from the merged spans (the same
+        # telemetry an operator gets from `sweep --trace`), with the sweep
+        # stack's own spans/metrics nested underneath
+        trace_dir = tmp / "obs"
+        obs_trace.activate(trace_dir)
+        try:
+            serial_runner = CachedSweepRunner(ResultStore(tmp / "serial"),
+                                              backend="serial")
+            with obs_trace.span("bench.stage", key="serial-cold",
+                                stage="serial-cold"):
+                serial_report, serial_s = _timed(
+                    lambda: serial_runner.run(sweep))
 
-        shard_store = ResultStore(tmp / "shard")
-        shard_runner = CachedSweepRunner(shard_store, backend="shard",
-                                         max_workers=WORKERS)
-        shard_report, shard_s = _timed(lambda: shard_runner.run(sweep))
-        log = read_execution_log(shard_store.root)
-        keys = [r["key"] for r in log]
-        assert sorted(keys) == sorted(set(keys)), "duplicate computation!"
-        assert len(keys) == len(sweep), "lost cells!"
-        assert shard_report == serial_report, "shard report != serial report"
+            shard_store = ResultStore(tmp / "shard")
+            shard_runner = CachedSweepRunner(shard_store, backend="shard",
+                                             max_workers=WORKERS)
+            with obs_trace.span("bench.stage", key="shard-cold",
+                                stage="shard-cold"):
+                shard_report, shard_s = _timed(
+                    lambda: shard_runner.run(sweep))
+            log = read_execution_log(shard_store.root)
+            keys = [r["key"] for r in log]
+            assert sorted(keys) == sorted(set(keys)), "duplicate computation!"
+            assert len(keys) == len(sweep), "lost cells!"
+            assert shard_report == serial_report, \
+                "shard report != serial report"
 
-        _, warm_s = _timed(lambda: shard_runner.run(sweep))
-        assert shard_runner.last_stats.misses == 0
-        assert not shard_runner.last_stats.executed
+            with obs_trace.span("bench.stage", key="warm", stage="warm"):
+                _, warm_s = _timed(lambda: shard_runner.run(sweep))
+            assert shard_runner.last_stats.misses == 0
+            assert not shard_runner.last_stats.executed
 
-        offline_runner = CachedSweepRunner(shard_store, offline=True)
-        offline_report, offline_s = _timed(lambda: offline_runner.run(sweep))
-        assert offline_report == shard_report
+            offline_runner = CachedSweepRunner(shard_store, offline=True)
+            with obs_trace.span("bench.stage", key="offline",
+                                stage="offline"):
+                offline_report, offline_s = _timed(
+                    lambda: offline_runner.run(sweep))
+            assert offline_report == shard_report
+        finally:
+            obs_trace.deactivate()
+
+        merged = merge_trace(trace_dir)
+        stages = {
+            node.attrs.get("stage", node.span_id): round(node.dur_s, 4)
+            for node in merged.spans_named("bench.stage")
+        }
+        telemetry = {
+            "processes": len(merged.processes),
+            "counters": merged.counters,
+            "cell_elapsed_s": merged.histograms.get("cell.elapsed_s"),
+        }
 
     # the achievable cold speedup is bounded by physical cores: on a 1-CPU
     # runner, shard ≈ serial is the *expected* good outcome (it shows the
@@ -116,6 +149,8 @@ def run(reduced: bool = False) -> dict:
         "warm_s": round(warm_s, 4),
         "offline_s": round(offline_s, 4),
         "speedup_cold": round(serial_s / shard_s, 3) if shard_s else None,
+        "stages": stages,
+        "telemetry": telemetry,
         "python": platform.python_version(),
         "machine": platform.machine(),
     }
@@ -147,6 +182,11 @@ def test_shard_invariants_reduced(benchmark=None):
     """Exactly-once compute, warm zero-execute, offline == cold (tiny sweep)."""
     payload = run(reduced=True)
     assert payload["sweep"]["cells"] == 2
+    assert set(payload["stages"]) == {"serial-cold", "shard-cold", "warm",
+                                      "offline"}
+    # serial + shard cold runs both computed the whole sweep; the traced
+    # counters see every one of those executions
+    assert payload["telemetry"]["counters"]["cells.computed"] == 4
 
 
 if __name__ == "__main__":

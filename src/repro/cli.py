@@ -31,10 +31,21 @@ Subcommands
     instead of aborting the sweep.  ``--sidecar-at R`` stores per-run rounds
     of large cells (≥ R runs) as NPZ sidecars next to the JSON payloads.
 
+    ``--trace [DIR]`` records structured telemetry (spans, events, metric
+    increments — one JSONL shard per process, workers included) into DIR,
+    defaulting to ``STORE/obs``; see the ``obs`` subcommand.
+
 ``store``
     Inspect and maintain a result store: ``ls`` (table of cached cells),
-    ``info`` (aggregate facts or one full record), ``gc`` (validate payloads,
-    quarantine corrupted ones, rebuild the index).
+    ``info`` (aggregate facts or one full record; ``--json`` for
+    machine-readable output), ``gc`` (validate payloads, quarantine
+    corrupted ones, rebuild the index).
+
+``obs``
+    Inspect recorded traces: ``summarize`` merges the per-process shards
+    into one span tree plus aggregate counters/histograms (``--json`` for
+    machine-readable output); ``validate`` checks every line against the
+    trace schema (the CI traced-sweep leg).
 
 ``figure1``
     Regenerate the paper's Figure 1 summary table.
@@ -149,6 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "JSON or a path to a JSON file; see "
                           "repro.robustness.FaultPlan) — chaos testing the "
                           "execution stack; workers inherit the plan")
+    swp.add_argument("--trace", nargs="?", const="auto", default=None,
+                     metavar="DIR",
+                     help="record structured telemetry (spans/events/metrics, "
+                          "one JSONL shard per process; workers inherit via "
+                          "REPRO_TRACE): with no DIR traces into "
+                          "STORE/obs (requires --store); inspect with "
+                          "'obs summarize'")
 
     fig = sub.add_parser("figure1", help="regenerate the paper's Figure 1 table")
     fig.add_argument("--scale", type=float, default=1.0)
@@ -164,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
     sto_info.add_argument("--store", type=Path, required=True)
     sto_info.add_argument("key", nargs="?", default=None,
                           help="full or unambiguous-prefix cell key")
+    sto_info.add_argument("--json", action="store_true",
+                          help="machine-readable output (non-finite floats "
+                               "use the tagged encoding of repro.io."
+                               "serialization)")
     sto_gc = sto_sub.add_parser("gc", help="validate payloads, rebuild index")
     sto_gc.add_argument("--store", type=Path, required=True)
     sto_gc.add_argument("--drop-schema-mismatch", action="store_true",
@@ -171,6 +193,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "version")
     sto_gc.add_argument("--drop-quarantine", action="store_true",
                         help="delete previously quarantined payloads")
+
+    obs = sub.add_parser("obs", help="inspect structured telemetry traces")
+    obs_sub = obs.add_subparsers(dest="obs_command")
+    obs_sum = obs_sub.add_parser(
+        "summarize", help="merged span tree + aggregate metrics of a trace")
+    obs_sum.add_argument("--trace", type=Path, required=True, metavar="DIR",
+                         help="trace directory (e.g. STORE/obs)")
+    obs_sum.add_argument("--json", action="store_true",
+                         help="machine-readable summary")
+    obs_val = obs_sub.add_parser(
+        "validate", help="check every trace line against the trace schema")
+    obs_val.add_argument("--trace", type=Path, required=True, metavar="DIR")
     return parser
 
 
@@ -191,15 +225,6 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.store import (
-        ArtifactRegistry,
-        CachedSweepRunner,
-        ResultStore,
-        ShardBackend,
-        StoreMissError,
-    )
-
-    func = _SWEEPS[args.name]
     kwargs = {"scale": args.scale}
     if args.engine is not None:
         kwargs["engine"] = args.engine
@@ -218,6 +243,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"without --no-cache", file=sys.stderr)
         return 2
 
+    trace_dir: Optional[Path] = None
+    if args.trace is not None:
+        if args.trace == "auto":
+            if args.store is None or args.no_cache:
+                print("error: --trace without a directory requires --store "
+                      "without --no-cache (traces into STORE/obs)",
+                      file=sys.stderr)
+                return 2
+            trace_dir = Path(args.store) / "obs"
+        else:
+            trace_dir = Path(args.trace)
+
     if args.fault_plan is not None:
         from repro.robustness import FaultPlan, activate
         try:
@@ -226,6 +263,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"error: unusable --fault-plan: {exc}", file=sys.stderr)
             return 2
 
+    if trace_dir is None:
+        return _sweep_body(args, kwargs)
+    from repro.obs import trace as obs_trace
+    obs_trace.activate(trace_dir)
+    try:
+        return _sweep_body(args, kwargs, trace_dir=trace_dir)
+    finally:
+        obs_trace.deactivate()
+
+
+def _sweep_body(args: argparse.Namespace, kwargs: dict,
+                trace_dir: Optional[Path] = None) -> int:
+    from repro.store import (
+        ArtifactRegistry,
+        CachedSweepRunner,
+        ResultStore,
+        ShardBackend,
+        StoreMissError,
+    )
+
+    func = _SWEEPS[args.name]
     runner = None
     store = None
     if args.store is not None and not args.no_cache:
@@ -261,6 +319,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   f"intercept={fit.intercept:.3f}, R^2={fit.r_squared:.4f}")
     if runner is not None:
         print(f"\ncache: {runner.last_stats.summary()} (store: {args.store})")
+    if trace_dir is not None:
+        print(f"trace: {trace_dir} (inspect with: repro-consensus obs "
+              f"summarize --trace {trace_dir})")
 
     cell_keys = figure.report.meta.get("store", {}).get("keys", {})
     if args.json is not None:
@@ -307,6 +368,10 @@ def _cmd_store(args: argparse.Namespace) -> int:
                 "kernel_this_process": multinomial_kernel_id(),
             }
             markers = failed_markers(store.root)
+            if args.json:
+                info["failed_cells"] = markers
+                _print_json(info)
+                return 0
             if markers:
                 # per-cell attempt counts from the shard failure markers, so
                 # a fleet operator can see which cells are burning budget
@@ -319,12 +384,25 @@ def _cmd_store(args: argparse.Namespace) -> int:
         matches = [k for k in store.keys() if k.startswith(args.key)]
         if len(matches) != 1:
             print(f"key {args.key!r}: "
-                  f"{'no match' if not matches else f'{len(matches)} matches'}")
+                  f"{'no match' if not matches else f'{len(matches)} matches'}",
+                  file=sys.stderr if args.json else sys.stdout)
             return 1
         record = store.get(matches[0])
         if record is None:
-            print(f"key {matches[0]} is unreadable (quarantined)")
+            print(f"key {matches[0]} is unreadable (quarantined)",
+                  file=sys.stderr if args.json else sys.stdout)
             return 1
+        if args.json:
+            _print_json({
+                "key": record.key,
+                "cell": record.config.get("name", ""),
+                "schema": record.schema,
+                "config": record.config,
+                "provenance": record.provenance,
+                "mean_rounds": record.result.mean_rounds,
+                "convergence_fraction": record.result.convergence_fraction,
+            })
+            return 0
         print(render_kv({
             "key": record.key,
             "cell": record.config.get("name", ""),
@@ -344,6 +422,62 @@ def _cmd_store(args: argparse.Namespace) -> int:
               f"dangling_artifacts={counts['dangling_artifacts']}")
         return 0
     return 1
+
+
+def _print_json(payload) -> None:
+    """Machine-readable CLI output (repro.io.serialization conventions)."""
+    import json
+
+    from repro.io.serialization import to_jsonable
+
+    print(json.dumps(to_jsonable(payload), indent=2, sort_keys=True,
+                     allow_nan=False))
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.export import merge_trace, validate_trace
+
+    if args.obs_command is None:
+        print("usage: repro-consensus obs {summarize,validate} --trace DIR")
+        return 1
+    if args.obs_command == "validate":
+        try:
+            stats = validate_trace(args.trace)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if not stats.get("lines"):
+            print(f"error: no trace lines under {args.trace}", file=sys.stderr)
+            return 1
+        print(render_kv(stats, title=f"trace {args.trace}"))
+        return 0
+    merged = merge_trace(args.trace)
+    if args.json:
+        _print_json(merged.summary())
+        return 0 if merged.records else 1
+    if not merged.records:
+        print(f"(no trace records under {args.trace})")
+        return 1
+    print(f"trace {args.trace} — {len(merged.processes)} process(es), "
+          f"{merged.stats['lines']} line(s), {merged.stats['torn']} torn\n")
+    for line in merged.tree_lines():
+        print(line)
+    summary = merged.summary()
+    flat = {}
+    for name, agg in sorted(summary["spans"].items()):
+        flat[f"span.{name}"] = (f"count={agg['count']} "
+                                f"total={agg['total_s']:.3f}s")
+    flat["events"] = summary["events"]
+    flat["warnings"] = summary["warnings"]
+    for name, value in summary["counters"].items():
+        flat[f"counter.{name}"] = value
+    for name, h in sorted(summary["histograms"].items()):
+        flat[f"hist.{name}"] = (f"count={h['count']} mean={h['mean']:.4g} "
+                                f"p50={h['p50']:.4g} p90={h['p90']:.4g} "
+                                f"max={h['max']:.4g}")
+    print()
+    print(render_kv(flat, title="aggregate telemetry"))
+    return 0
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
@@ -386,6 +520,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_rules(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     parser.print_help()
     return 1
 

@@ -56,6 +56,7 @@ from repro.robustness.faults import fault_point
 __all__ = [
     "ENV_VAR",
     "BACKEND_CHOICES",
+    "DRAW_STATS",
     "KernelInfo",
     "MultinomialKernelWarning",
     "multinomial_backend_info",
@@ -73,6 +74,12 @@ __all__ = [
 ENV_VAR = "REPRO_MULTINOMIAL_KERNEL"
 BUILD_DIR_ENV_VAR = "REPRO_MULTINOMIAL_BUILD_DIR"
 BACKEND_CHOICES = ("auto", "compiled", "numpy", "numba", "cc")
+
+#: Per-process tallies of draws through this seam.  Kept as plain dict
+#: increments (no telemetry check) because the seam is the innermost hot
+#: path; :func:`repro.experiments.runner.run_cell` snapshots deltas into
+#: the trace when tracing is armed.
+DRAW_STATS = {"calls": 0, "rows": 0}
 
 #: Must match MNK_ABI_VERSION in _mnk.c; a stale shared object is rebuilt.
 _ABI_VERSION = 1
@@ -273,17 +280,36 @@ _warned: set = set()                    # requested modes already warned for
 
 def _get_provider(name: str):
     """Build-or-fetch a provider; any exception marks it unavailable."""
+    import time as _time
+
     with _lock:
         if name in _providers:
             return _providers[name]
+        t0 = _time.perf_counter()
         try:
             provider = _PROVIDER_FACTORIES[name]()
         except Exception as exc:  # detection must never propagate
             _providers[name] = None
             _provider_errors[name] = f"{type(exc).__name__}: {exc}"
+            _trace_detection(name, _time.perf_counter() - t0, ok=False)
             return None
         _providers[name] = provider
+        _trace_detection(name, _time.perf_counter() - t0, ok=True)
         return provider
+
+
+def _trace_detection(provider: str, elapsed: float, ok: bool) -> None:
+    """Record one provider detection/build in the trace (cold path only)."""
+    try:
+        from repro.obs import trace as obs_trace
+        from repro.obs import metrics as obs_metrics
+    except ImportError:   # pragma: no cover — partial install
+        return
+    if not obs_trace.enabled():
+        return
+    obs_metrics.observe("kernel.detect_s", elapsed, provider=provider)
+    obs_trace.event("kernel.resolved", provider=provider, ok=ok,
+                    detail="" if ok else _provider_errors.get(provider, ""))
 
 
 def set_multinomial_backend(backend: Optional[str]) -> None:
@@ -383,6 +409,8 @@ def sample_flows(counts: np.ndarray, pvals: np.ndarray,
     cost nothing on the compiled backend.  On the numpy backend this is
     verbatim ``rng.multinomial(counts, pvals)``.
     """
+    DRAW_STATS["calls"] += 1
+    DRAW_STATS["rows"] += int(np.asarray(pvals).shape[0])
     info = resolve_multinomial_backend(backend)
     if info.resolved == "numpy":
         return rng.multinomial(counts, pvals).astype(np.int64, copy=False)
@@ -414,6 +442,8 @@ def scatter_column_sums(counts: np.ndarray, Q: np.ndarray,
     (``rng.multinomial(counts, Q)`` + sum); the compiled backend accumulates
     the sums in C without materializing the flow matrix.
     """
+    DRAW_STATS["calls"] += 1
+    DRAW_STATS["rows"] += int(np.asarray(counts).shape[0])
     info = resolve_multinomial_backend(backend)
     if info.resolved == "numpy":
         flows = rng.multinomial(counts, Q)
@@ -435,6 +465,8 @@ def scatter_column_sums_batch(counts: np.ndarray, Q: np.ndarray,
     results are bit-for-bit unchanged.  The compiled path skips zero rows
     inline in C.
     """
+    DRAW_STATS["calls"] += 1
+    DRAW_STATS["rows"] += int(np.asarray(counts).size)
     info = resolve_multinomial_backend(backend)
     R, m = counts.shape
     if info.resolved == "numpy":
@@ -472,6 +504,8 @@ def sample_scatter_banded(counts: np.ndarray, lo: np.ndarray, hi: np.ndarray,
     """
     counts = np.asarray(counts, dtype=np.int64)
     R, m = counts.shape
+    DRAW_STATS["calls"] += 1
+    DRAW_STATS["rows"] += int(counts.size)
     lo = np.ascontiguousarray(np.broadcast_to(lo, (R, m)), dtype=np.float64)
     hi = np.ascontiguousarray(np.broadcast_to(hi, (R, m)), dtype=np.float64)
     diag = np.ascontiguousarray(np.broadcast_to(diag, (R, m)), dtype=np.float64)

@@ -28,6 +28,8 @@ from repro.adversary.strategies import make_adversary
 from repro.core.rules import get_rule
 from repro.core.state import Configuration
 from repro.engine.batch import BatchResult, run_batch
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.robustness import DegradedExecutionWarning
 from repro.robustness.faults import fault_point, mark_worker_process
 
@@ -93,9 +95,15 @@ def _execute_one(item: WorkItem) -> Dict[str, Any]:
     # every backend's per-cell compute entry, and pool workers enter here
     fault_point("worker.compute", cell=item.label)
     # imported here so the worker process resolves registries on its side
-    from repro.experiments.runner import resolve_cell_engine
+    from repro.experiments.runner import emit_engine_metrics, resolve_cell_engine
     from repro.experiments.workloads import make_workload_for_engine
 
+    if obs_trace.enabled():
+        from repro.engine._multinomial import DRAW_STATS
+
+        draws_before = dict(DRAW_STATS)
+    else:
+        draws_before = None
     rule = get_rule(item.rule, **item.rule_params)
     engine = resolve_cell_engine(item.rule, item.adversary, item.engine,
                                  item.workload, item.workload_params)
@@ -106,15 +114,20 @@ def _execute_one(item: WorkItem) -> Dict[str, Any]:
         return make_adversary(item.adversary, budget=item.adversary_budget,
                               **item.adversary_params)
 
-    batch = run_batch(
-        workload,
-        num_runs=item.num_runs,
-        rule=rule,
-        adversary_factory=adversary_factory if item.adversary_budget > 0 else None,
-        seed=item.seed,
-        max_rounds=item.max_rounds,
-        engine=engine,
-    )
+    # the span is keyed by the cell label (pool workers never see the store
+    # key); the coordinating process tags its consuming span with the hash
+    with obs_trace.span("cell.compute", key=item.label, cell_label=item.label,
+                        backend="pool", engine=engine):
+        batch = run_batch(
+            workload,
+            num_runs=item.num_runs,
+            rule=rule,
+            adversary_factory=adversary_factory if item.adversary_budget > 0 else None,
+            seed=item.seed,
+            max_rounds=item.max_rounds,
+            engine=engine,
+        )
+    emit_engine_metrics(batch, draws_before)
     summary = batch.summary()
     summary["label"] = item.label
     summary["engine"] = engine   # resolved engine, for result provenance
@@ -185,10 +198,12 @@ def execute_work_items(
             return list(pool.map(_execute_one_captured, items))
     except (OSError, ValueError, RuntimeError) as exc:
         # Sandboxed or fork-restricted environments: degrade gracefully.
-        warnings.warn(
-            f"process pool unavailable ({type(exc).__name__}: {exc}); "
-            f"degrading to serial in-process execution",
-            DegradedExecutionWarning, stacklevel=2)
+        message = (f"process pool unavailable ({type(exc).__name__}: {exc}); "
+                   f"degrading to serial in-process execution")
+        warnings.warn(message, DegradedExecutionWarning, stacklevel=2)
+        obs_trace.warning_event("DegradedExecutionWarning", message,
+                                rung="pool-to-serial")
+        obs_metrics.count("degraded", rung="pool-to-serial")
         return [_execute_one_captured(item) for item in items]
 
 
@@ -233,10 +248,13 @@ def iter_work_item_results(
             # broke mid-sweep (a SIGKILLed worker → BrokenProcessPool, a
             # RuntimeError subclass) falls back to serial execution of
             # whatever was not already yielded — no cell is lost or re-run
-            warnings.warn(
-                f"process pool unavailable ({type(exc).__name__}: {exc}); "
-                f"completing the sweep serially in-process",
-                DegradedExecutionWarning, stacklevel=2)
+            message = (f"process pool unavailable "
+                       f"({type(exc).__name__}: {exc}); "
+                       f"completing the sweep serially in-process")
+            warnings.warn(message, DegradedExecutionWarning, stacklevel=2)
+            obs_trace.warning_event("DegradedExecutionWarning", message,
+                                    rung="pool-to-serial")
+            obs_metrics.count("degraded", rung="pool-to-serial")
     for i, item in enumerate(items):
         if i not in done:
             yield i, _execute_one_captured(item)

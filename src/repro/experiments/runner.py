@@ -50,11 +50,14 @@ from repro.experiments.workloads import (
     implied_support_width,
     make_workload_for_engine,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.robustness.faults import fault_point
 from repro.robustness.retry import classify_error
 
 __all__ = [
     "EXECUTION_STATS",
+    "emit_engine_metrics",
     "resolve_cell_engine",
     "run_cell",
     "run_sweep",
@@ -95,10 +98,42 @@ def resolve_cell_engine(rule: str, adversary: str, engine: str,
     return engine
 
 
+def emit_engine_metrics(batch, draws_before: Optional[Dict[str, int]] = None
+                        ) -> None:
+    """Trace one batch's engine-level work (no-op when tracing is disarmed).
+
+    ``draws_before`` is a snapshot of
+    :data:`repro.engine._multinomial.DRAW_STATS` taken before the batch ran;
+    the deltas attribute multinomial traffic to this cell.  ``engine.rounds``
+    sums the finite (converged) per-run round counts.
+    """
+    if not obs_trace.enabled():
+        return
+    obs_metrics.count("engine.runs", batch.num_runs)
+    rounds = int(sum(r for r in batch.rounds if np.isfinite(r)))
+    if rounds:
+        obs_metrics.count("engine.rounds", rounds)
+    if draws_before is not None:
+        from repro.engine._multinomial import DRAW_STATS
+
+        calls = DRAW_STATS["calls"] - draws_before["calls"]
+        rows = DRAW_STATS["rows"] - draws_before["rows"]
+        if calls:
+            obs_metrics.count("engine.multinomial_calls", calls)
+        if rows:
+            obs_metrics.count("engine.multinomial_rows", rows)
+
+
 def run_cell(config: ExperimentConfig) -> CellResult:
     """Execute one experiment cell in-process and summarize it."""
     EXECUTION_STATS["run_cell_calls"] += 1
     fault_point("worker.compute", cell=config.name)
+    if obs_trace.enabled():
+        from repro.engine._multinomial import DRAW_STATS
+
+        draws_before = dict(DRAW_STATS)
+    else:
+        draws_before = None
     rule = get_rule(config.rule, **config.rule_params)
     engine = resolve_cell_engine(config.rule, config.adversary, config.engine,
                                  config.workload, config.workload_params)
@@ -120,6 +155,7 @@ def run_cell(config: ExperimentConfig) -> CellResult:
         max_rounds=config.max_rounds,
         engine=engine,
     )
+    emit_engine_metrics(batch, draws_before)
     return CellResult(
         config=config,
         num_runs=batch.num_runs,

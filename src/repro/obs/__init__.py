@@ -1,0 +1,75 @@
+"""Zero-overhead-when-disabled telemetry for the sweep stack.
+
+Three small modules, modeled on the :mod:`repro.robustness.faults`
+activation pattern:
+
+:mod:`repro.obs.trace`
+    Span/event API over ``time.perf_counter`` with per-process JSONL sinks
+    (``<dir>/trace-<pid>.jsonl``).  Armed in-process via :func:`activate`,
+    across process trees via the ``REPRO_TRACE`` environment variable, or
+    from the CLI (``sweep --trace [DIR]``).  Disarmed, every entry point is
+    a module-global ``None`` check returning a shared no-op.
+:mod:`repro.obs.metrics`
+    Cataloged counters/histograms emitted as immediate trace lines
+    (crash-exact, merged fleet-wide at export time).
+:mod:`repro.obs.export`
+    Torn-line-tolerant merge of the per-process shards into one span tree
+    plus an aggregate summary (``repro obs summarize``).
+
+Everything observational: no record emitted here enters cell hashes,
+stored payloads, or reports, so arming a trace never changes results.
+"""
+
+from repro.obs.trace import (
+    ENV_VAR,
+    NOOP_SPAN,
+    PARENT_ENV_VAR,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    activate,
+    active_tracer,
+    current_span_id,
+    deactivate,
+    enabled,
+    event,
+    span,
+    span_id_for,
+    warning_event,
+)
+from repro.obs.metrics import METRICS, count, observe
+from repro.obs.export import (
+    MergedTrace,
+    SpanNode,
+    merge_trace,
+    read_trace,
+    validate_record,
+    validate_trace,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "PARENT_ENV_VAR",
+    "TRACE_SCHEMA_VERSION",
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "activate",
+    "deactivate",
+    "active_tracer",
+    "enabled",
+    "span",
+    "event",
+    "warning_event",
+    "current_span_id",
+    "span_id_for",
+    "METRICS",
+    "count",
+    "observe",
+    "MergedTrace",
+    "SpanNode",
+    "merge_trace",
+    "read_trace",
+    "validate_record",
+    "validate_trace",
+]

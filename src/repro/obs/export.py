@@ -1,0 +1,334 @@
+"""Merge per-process trace shards into one span tree + aggregate summary.
+
+A traced fleet leaves one ``trace-<pid>.jsonl`` shard per process (see
+:mod:`repro.obs.trace`).  This module reassembles them:
+
+* :func:`read_trace` loads every shard, *skipping* undecodable lines with
+  one :class:`~repro.robustness.TornLogWarning` — a worker SIGKILLed
+  mid-append tears its trailing line, and the merge must tolerate that the
+  same way the execution-log reader does;
+* :func:`validate_record` / :func:`validate_trace` enforce the trace
+  schema (:data:`~repro.obs.trace.TRACE_SCHEMA_VERSION`, per-kind required
+  fields, metric names against the :data:`~repro.obs.metrics.METRICS`
+  catalog) — the CI traced-sweep leg runs every line through this;
+* :func:`merge_trace` builds the :class:`MergedTrace`: span instances
+  linked into a tree (deterministic span ids make cross-process edges
+  work; spans whose parent record was torn away attach under a synthetic
+  root, flagged ``orphan``), counters summed and histograms summarized
+  across all shards.
+
+Everything here is read-only over the trace directory; merging never
+modifies shards.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+__all__ = [
+    "SpanNode",
+    "MergedTrace",
+    "read_trace",
+    "validate_record",
+    "validate_trace",
+    "merge_trace",
+]
+
+#: Synthetic parent id for spans whose recorded parent never made it to disk
+#: (torn shard, killed worker) and for genuinely root spans in multi-root
+#: traces.
+SYNTHETIC_ROOT = "(root)"
+
+_KINDS = ("span", "event", "metric")
+
+
+def read_trace(trace_dir: str | Path
+               ) -> Tuple[List[Dict[str, Any]], Dict[str, int]]:
+    """All records of every shard under ``trace_dir``; tolerant of torn lines.
+
+    Returns ``(records, stats)`` where ``stats`` counts ``files``, ``lines``
+    and ``torn`` (undecodable) lines.  Shards are read in sorted filename
+    order and records keep their within-shard order; a missing directory is
+    an empty trace, not an error.
+    """
+    trace_dir = Path(trace_dir)
+    records: List[Dict[str, Any]] = []
+    stats = {"files": 0, "lines": 0, "torn": 0}
+    if not trace_dir.exists():
+        return records, stats
+    for shard in sorted(trace_dir.glob("trace-*.jsonl")):
+        stats["files"] += 1
+        for line in shard.read_text().splitlines():
+            if not line.strip():
+                continue
+            stats["lines"] += 1
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("not an object")
+                records.append(record)
+            except (json.JSONDecodeError, ValueError):
+                stats["torn"] += 1
+    if stats["torn"]:
+        from repro.robustness import TornLogWarning
+
+        warnings.warn(
+            f"trace directory {trace_dir} contained {stats['torn']} "
+            f"undecodable line(s) (shard torn by a killed worker); skipped",
+            TornLogWarning, stacklevel=2)
+    return records, stats
+
+
+def validate_record(record: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``record`` is a well-formed trace line."""
+    if record.get("schema") != TRACE_SCHEMA_VERSION:
+        raise ValueError(f"schema {record.get('schema')!r} != "
+                         f"{TRACE_SCHEMA_VERSION}")
+    kind = record.get("kind")
+    if kind not in _KINDS:
+        raise ValueError(f"unknown kind {kind!r}")
+    if not isinstance(record.get("pid"), int):
+        raise ValueError("missing/invalid pid")
+    if not isinstance(record.get("at"), (int, float)):
+        raise ValueError("missing/invalid at")
+    if kind == "span":
+        if not isinstance(record.get("name"), str) or not record["name"]:
+            raise ValueError("span without a name")
+        if not isinstance(record.get("span"), str):
+            raise ValueError("span without an id")
+        parent = record.get("parent")
+        if parent is not None and not isinstance(parent, str):
+            raise ValueError("invalid span parent")
+        dur = record.get("dur_s")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            raise ValueError("span without a non-negative dur_s")
+        if not isinstance(record.get("attrs"), dict):
+            raise ValueError("span without attrs")
+    elif kind == "event":
+        if not isinstance(record.get("name"), str) or not record["name"]:
+            raise ValueError("event without a name")
+        if not isinstance(record.get("attrs"), dict):
+            raise ValueError("event without attrs")
+    else:   # metric
+        name = record.get("metric")
+        if name not in METRICS:
+            raise ValueError(f"uncataloged metric {name!r}")
+        if not isinstance(record.get("value"), (int, float)):
+            raise ValueError("metric without a numeric value")
+        if not isinstance(record.get("labels"), dict):
+            raise ValueError("metric without labels")
+
+
+def validate_trace(trace_dir: str | Path) -> Dict[str, int]:
+    """Validate every surviving line of a trace; raises on the first bad one.
+
+    Returns the :func:`read_trace` stats augmented with per-kind counts —
+    what the CI traced-sweep leg prints on success.
+    """
+    records, stats = read_trace(trace_dir)
+    kinds = {kind: 0 for kind in _KINDS}
+    for i, record in enumerate(records):
+        try:
+            validate_record(record)
+        except ValueError as exc:
+            raise ValueError(f"trace record {i} invalid: {exc}: "
+                             f"{json.dumps(record)[:200]}") from exc
+        kinds[record["kind"]] += 1
+    return {**stats, **kinds}
+
+
+@dataclass
+class SpanNode:
+    """One span instance in the merged tree."""
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    pid: int
+    at: float
+    dur_s: float
+    attrs: Dict[str, Any]
+    children: List["SpanNode"] = field(default_factory=list)
+    orphan: bool = False   # recorded parent never made it to disk
+
+    def walk(self):
+        yield self
+        for child in sorted(self.children, key=lambda s: s.at):
+            yield from child.walk()
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    idx = min(len(sorted_values) - 1,
+              max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[idx]
+
+
+@dataclass
+class MergedTrace:
+    """The reassembled trace of one run: tree, events, aggregated metrics."""
+
+    records: List[Dict[str, Any]]
+    stats: Dict[str, int]
+    roots: List[SpanNode]
+    spans: List[SpanNode]
+    events: List[Dict[str, Any]]
+    counters: Dict[str, float]
+    counter_labels: Dict[str, Dict[str, float]]
+    histograms: Dict[str, Dict[str, float]]
+
+    @property
+    def processes(self) -> List[int]:
+        return sorted({r["pid"] for r in self.records
+                       if isinstance(r.get("pid"), int)})
+
+    def spans_named(self, name: str) -> List[SpanNode]:
+        return [s for s in self.spans if s.name == name]
+
+    def events_named(self, name: str) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e.get("name") == name]
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate facts of the whole trace (JSON-safe)."""
+        by_name: Dict[str, Dict[str, float]] = {}
+        for node in self.spans:
+            agg = by_name.setdefault(node.name, {"count": 0, "total_s": 0.0})
+            agg["count"] += 1
+            agg["total_s"] = round(agg["total_s"] + node.dur_s, 6)
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "processes": len(self.processes),
+            "files": self.stats.get("files", 0),
+            "lines": self.stats.get("lines", 0),
+            "torn_lines": self.stats.get("torn", 0),
+            "spans": by_name,
+            "events": len(self.events),
+            "warnings": len(self.events_named("warning")),
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": self.histograms,
+        }
+
+    def tree_lines(self, max_children: int = 24) -> List[str]:
+        """The span tree as indented text (for ``repro obs summarize``)."""
+        lines: List[str] = []
+
+        def render(node: SpanNode, depth: int) -> None:
+            attrs = node.attrs
+            tag = ""
+            for key in ("cell", "sweep", "stage"):
+                if key in attrs:
+                    tag = f" {key}={str(attrs[key])[:12]}"
+                    break
+            outcome = attrs.get("outcome")
+            tag += f" [{outcome}]" if outcome else ""
+            tag += " (orphan)" if node.orphan else ""
+            lines.append(f"{'  ' * depth}{node.name}"
+                         f" {node.dur_s:.3f}s pid={node.pid}{tag}")
+            shown = sorted(node.children, key=lambda s: s.at)
+            for child in shown[:max_children]:
+                render(child, depth + 1)
+            if len(shown) > max_children:
+                lines.append(f"{'  ' * (depth + 1)}"
+                             f"... {len(shown) - max_children} more")
+
+        for root in sorted(self.roots, key=lambda s: s.at):
+            render(root, 0)
+        return lines
+
+
+def merge_trace(trace_dir: str | Path) -> MergedTrace:
+    """Reassemble a trace directory (see the module docstring)."""
+    records, stats = read_trace(trace_dir)
+
+    spans: List[SpanNode] = []
+    events: List[Dict[str, Any]] = []
+    counters: Dict[str, float] = {}
+    counter_labels: Dict[str, Dict[str, float]] = {}
+    samples: Dict[str, List[float]] = {}
+
+    for record in records:
+        kind = record.get("kind")
+        if kind == "span":
+            try:
+                spans.append(SpanNode(
+                    name=str(record["name"]),
+                    span_id=str(record["span"]),
+                    parent_id=record.get("parent"),
+                    pid=int(record.get("pid", -1)),
+                    at=float(record.get("at", 0.0)),
+                    dur_s=float(record.get("dur_s", 0.0)),
+                    attrs=dict(record.get("attrs", {})),
+                ))
+            except (TypeError, ValueError, KeyError):
+                stats["torn"] = stats.get("torn", 0) + 1
+        elif kind == "event":
+            events.append(record)
+        elif kind == "metric":
+            name = record.get("metric")
+            value = record.get("value")
+            if not isinstance(name, str) \
+                    or not isinstance(value, (int, float)):
+                continue
+            meta = METRICS.get(name, {})
+            if meta.get("kind") == "histogram":
+                samples.setdefault(name, []).append(float(value))
+            else:
+                counters[name] = counters.get(name, 0) + value
+                labels = record.get("labels") or {}
+                if labels:
+                    label_key = json.dumps(labels, sort_keys=True)
+                    detail = counter_labels.setdefault(name, {})
+                    detail[label_key] = detail.get(label_key, 0) + value
+
+    histograms: Dict[str, Dict[str, float]] = {}
+    for name, values in samples.items():
+        values.sort()
+        histograms[name] = {
+            "count": len(values),
+            "sum": round(sum(values), 6),
+            "min": round(values[0], 6),
+            "max": round(values[-1], 6),
+            "mean": round(sum(values) / len(values), 6),
+            "p50": round(_percentile(values, 0.50), 6),
+            "p90": round(_percentile(values, 0.90), 6),
+        }
+
+    # -- tree assembly --------------------------------------------------- #
+    # Deterministic span ids mean one id can have several instances (the
+    # same cell computed in two processes after a worker restart); parent
+    # edges prefer an instance in the same pid, falling back to the
+    # earliest instance anywhere — good enough for a tree whose ids are
+    # content-derived, and stable because shards are read in sorted order.
+    by_id: Dict[str, List[SpanNode]] = {}
+    for node in spans:
+        by_id.setdefault(node.span_id, []).append(node)
+
+    roots: List[SpanNode] = []
+    for node in spans:
+        if node.parent_id is None:
+            roots.append(node)
+            continue
+        candidates = by_id.get(node.parent_id)
+        if not candidates:
+            node.orphan = True   # parent torn away (or never closed)
+            roots.append(node)
+            continue
+        parent = next((c for c in candidates if c.pid == node.pid),
+                      min(candidates, key=lambda s: s.at))
+        if parent is node:   # self-parenting guard (duplicate ids)
+            roots.append(node)
+        else:
+            parent.children.append(node)
+
+    return MergedTrace(records=records, stats=stats, roots=roots,
+                       spans=spans, events=events, counters=counters,
+                       counter_labels=counter_labels, histograms=histograms)

@@ -1,0 +1,134 @@
+"""Named counters and histograms for the sweep stack.
+
+A thin semantic layer over :mod:`repro.obs.trace`: every increment /
+observation is one immediately-appended ``kind: "metric"`` trace line, so
+
+* counters from a worker killed mid-sweep are exact up to the kill (there
+  is no end-of-process flush to lose);
+* aggregation is deferred to :func:`repro.obs.export.merge_trace`, which
+  sums counters and summarizes histogram samples across every per-process
+  shard — the merged numbers therefore cover the whole fleet;
+* the disabled path is the same module-global ``None`` check as
+  :func:`repro.obs.trace.event` — zero overhead, no validation, nothing
+  written.
+
+Metric names come from the :data:`METRICS` catalog below (the event catalog
+of the README "Observability" section).  Emitting an uncataloged name
+raises ``ValueError`` *when tracing is armed* — the CI trace-validation leg
+checks every line against this catalog, so drift between emitters and the
+catalog fails fast instead of producing unaggregatable traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.obs import trace as _trace
+
+__all__ = ["METRICS", "count", "observe"]
+
+#: The metric catalog: name → (kind, description).  ``counter`` values are
+#: summed at merge time; ``histogram`` samples are summarized
+#: (count/sum/min/max/mean/p50/p90).
+METRICS: Dict[str, Dict[str, str]] = {
+    # cache / sweep accounting (emitted by CachedSweepRunner + backends)
+    "cache.hits": {
+        "kind": "counter",
+        "doc": "sweep cells served from the store without executing"},
+    "cache.misses": {
+        "kind": "counter",
+        "doc": "sweep cells that required execution"},
+    "cache.failures": {
+        "kind": "counter",
+        "doc": "cells whose execution ended as a canonical failure record"},
+    "cells.computed": {
+        "kind": "counter",
+        "doc": "completed fresh cell computations (shard: 1:1 with "
+               "shard/executions.jsonl lines)"},
+    "cells.failed": {
+        "kind": "counter",
+        "doc": "cells that exhausted their budget or failed permanently "
+               "(counted once, at the site that records the failure)"},
+    "cell.elapsed_s": {
+        "kind": "histogram",
+        "doc": "wall-clock seconds per fresh cell computation"},
+    # retry / degradation (repro.robustness)
+    "retry.attempts": {
+        "kind": "counter",
+        "doc": "retry attempts consumed beyond each cell's first try"},
+    "retry.backoff_s": {
+        "kind": "histogram",
+        "doc": "seconds slept before each retry"},
+    "degraded": {
+        "kind": "counter",
+        "doc": "degradation-ladder rung transitions (label rung=...)"},
+    "fault.fired": {
+        "kind": "counter",
+        "doc": "deterministic fault-injector firings (labels seam=, shape=)"},
+    # shard lease lifecycle (repro.store.shard)
+    "lease.acquired": {
+        "kind": "counter", "doc": "lease files won via O_CREAT|O_EXCL"},
+    "lease.acquire_lost": {
+        "kind": "counter", "doc": "acquire races lost to another worker"},
+    "lease.released": {
+        "kind": "counter", "doc": "leases released after a resolved cell"},
+    "lease.reclaimed": {
+        "kind": "counter", "doc": "stale leases reclaimed from dead owners"},
+    "lease.wait_s": {
+        "kind": "histogram",
+        "doc": "seconds spent sleeping on other workers' in-flight leases"},
+    # store traffic (repro.store.store)
+    "store.put": {
+        "kind": "counter", "doc": "payload records persisted"},
+    "store.get.hit": {
+        "kind": "counter", "doc": "store reads that returned a valid record"},
+    "store.get.miss": {
+        "kind": "counter", "doc": "store reads with no (or stale) record"},
+    "store.quarantine": {
+        "kind": "counter",
+        "doc": "payloads quarantined by read-time integrity verification"},
+    # engine / kernel seam (repro.engine)
+    "engine.runs": {
+        "kind": "counter", "doc": "independent simulation runs executed"},
+    "engine.rounds": {
+        "kind": "counter",
+        "doc": "rounds simulated by converged runs (sum of finite "
+               "convergence rounds)"},
+    "engine.multinomial_calls": {
+        "kind": "counter",
+        "doc": "calls into the exact-multinomial kernel seam"},
+    "engine.multinomial_rows": {
+        "kind": "counter",
+        "doc": "multinomial vectors drawn through the kernel seam"},
+    "kernel.detect_s": {
+        "kind": "histogram",
+        "doc": "seconds spent detecting/building a compiled kernel provider"},
+}
+
+
+def _check(name: str, kind: str) -> None:
+    spec = METRICS.get(name)
+    if spec is None:
+        raise ValueError(f"uncataloged metric {name!r}; add it to "
+                         f"repro.obs.metrics.METRICS")
+    if spec["kind"] != kind:
+        raise ValueError(f"metric {name!r} is a {spec['kind']}, "
+                         f"not a {kind}")
+
+
+def count(name: str, value: int = 1, **labels: Any) -> None:
+    """Increment counter ``name`` by ``value`` (no-op when disarmed)."""
+    tracer = _trace.active_tracer() if _trace.enabled() else None
+    if tracer is None:
+        return
+    _check(name, "counter")
+    tracer.metric(name, int(value), labels)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    """Record one histogram sample for ``name`` (no-op when disarmed)."""
+    tracer = _trace.active_tracer() if _trace.enabled() else None
+    if tracer is None:
+        return
+    _check(name, "histogram")
+    tracer.metric(name, float(value), labels)

@@ -1,0 +1,406 @@
+"""Structured trace spans and events for the execution stack.
+
+Execution is a first-class *output*: every layer of the sweep stack (runner,
+backends, shard leases, retry policy, store, kernel seam, fault injector)
+emits structured telemetry through this module, so a multi-process fleet can
+be operated, debugged and perf-tuned from its trace instead of from
+``print`` statements and warnings that vanish inside worker subprocesses.
+
+Model — the :class:`~repro.robustness.faults.FaultInjector` pattern:
+
+* a module-global :class:`Tracer` is armed either in-process
+  (:func:`activate` / :func:`deactivate`), via the ``REPRO_TRACE``
+  environment variable (a directory path, inherited by spawned worker
+  fleets), or from the CLI (``sweep --trace [DIR]``);
+* with no tracer armed, :func:`span` / :func:`event` /
+  :func:`repro.obs.metrics.count` are a single module-global ``None`` check
+  returning a shared no-op — zero overhead on hot paths, no files, no
+  directories;
+* when armed, each *process* appends JSON lines to its own sink
+  ``<dir>/trace-<pid>.jsonl`` (O_APPEND, one line per write, no cross-
+  process interleaving); :mod:`repro.obs.export` merges the per-process
+  shards afterwards, tolerating shards torn by SIGKILLed workers.
+
+Record kinds (``TRACE_SCHEMA_VERSION`` = schema of every line):
+
+``span``
+    One record per *completed* span, written at exit:
+    ``{schema, kind, name, span, parent, pid, at, dur_s, attrs}``.
+    ``at`` is the wall-clock entry time; ``dur_s`` comes from
+    ``time.perf_counter``.  A span interrupted by SIGKILL writes nothing —
+    its children (already written) surface as orphans in the merged tree.
+``event``
+    A point-in-time occurrence: ``{schema, kind, name, span, pid, at,
+    attrs}``; ``span`` is the enclosing span id (or ``None``).
+``metric``
+    One counter increment or histogram sample (see
+    :mod:`repro.obs.metrics`): ``{schema, kind, metric, value, labels,
+    span, pid, at}``.  Increments are written immediately, so counters from
+    a killed worker stay exact up to the kill.
+
+Span identity
+-------------
+Span ids are *deterministic*: ``sha1("<name>|<key>")`` where ``key`` is the
+caller-supplied identity (e.g. the canonical cell hash) or, absent that,
+the canonical JSON of the entry attrs.  A cell recomputed by a restarted
+worker therefore carries the same span id as the first attempt — instances
+are distinguished by ``(pid, occurrence)`` at merge time — which is what
+makes cross-process / cross-restart correlation possible without a shared
+id service.  Volatile facts (worker identity, outcome, attempt counts)
+belong in ``attrs`` — added via :meth:`Span.set` before exit — never in the
+identity key.
+
+Parent propagation
+------------------
+Within a process, parentage is the span stack (a ``contextvars`` stack, so
+it is correct under threads).  Across processes, the root span of a trace
+exports its id as ``REPRO_TRACE_PARENT``; worker processes spawned while it
+is open adopt it as the parent of their own top-level spans, so the merged
+tree has one root covering the whole fleet.
+
+Events are observational only: nothing emitted here enters cell hashes,
+stored payloads, reports or any provenance-determining state, and the
+tracer never raises into the host program (a failed write disables the
+sink for the remainder of the process).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import hashlib
+import json
+import math
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, IO, Optional
+
+__all__ = [
+    "ENV_VAR",
+    "PARENT_ENV_VAR",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "Span",
+    "activate",
+    "deactivate",
+    "active_tracer",
+    "enabled",
+    "span",
+    "event",
+    "warning_event",
+    "current_span_id",
+    "span_id_for",
+]
+
+#: Environment variable carrying the trace directory.  Set by
+#: :func:`activate` so spawned worker processes inherit the armed tracer.
+ENV_VAR = "REPRO_TRACE"
+
+#: Environment variable carrying the root span id of the trace, exported
+#: while the root span is open so child processes parent under it.
+PARENT_ENV_VAR = "REPRO_TRACE_PARENT"
+
+#: Version stamped into every trace line.  Bump on incompatible changes;
+#: :func:`repro.obs.export.validate_record` enforces it.
+TRACE_SCHEMA_VERSION = 1
+
+
+def span_id_for(name: str, key: Optional[str] = None,
+                attrs: Optional[Dict[str, Any]] = None) -> str:
+    """The deterministic span id for ``(name, key)`` (see module docstring).
+
+    Exposed so tests (and the export layer) can predict ids: the same
+    ``name``/``key`` pair yields the same id in every process and across
+    worker restarts.
+    """
+    if key is None:
+        key = json.dumps(_clean_attrs(attrs or {}), sort_keys=True)
+    return hashlib.sha1(f"{name}|{key}".encode()).hexdigest()[:16]
+
+
+def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Attrs as JSON-safe scalars (telemetry must never fail to serialize)."""
+    out: Dict[str, Any] = {}
+    for k, v in attrs.items():
+        if isinstance(v, bool) or v is None or isinstance(v, (int, str)):
+            out[str(k)] = v
+        elif isinstance(v, float):
+            out[str(k)] = v if math.isfinite(v) else str(v)
+        else:
+            out[str(k)] = str(v)
+    return out
+
+
+class Span:
+    """An open span: a context manager writing one record on exit."""
+
+    __slots__ = ("_tracer", "name", "span_id", "_attrs", "_parent",
+                 "_t0", "_at", "_token", "_exported_env")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 key: Optional[str], attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self._attrs = _clean_attrs(attrs)
+        self.span_id = span_id_for(name, key, self._attrs)
+        self._parent: Optional[str] = None
+        self._t0 = 0.0
+        self._at = 0.0
+        self._token: Optional[contextvars.Token] = None
+        self._exported_env = False
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach late attrs (outcome, attempts, ...) before the span closes.
+
+        These are recorded in the span line but never enter the span id, so
+        ids stay stable across retries and worker restarts.
+        """
+        self._attrs.update(_clean_attrs(attrs))
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = _SPAN_STACK.get()
+        self._parent = stack[-1] if stack else _root_parent()
+        self._token = _SPAN_STACK.set(stack + (self.span_id,))
+        if not stack and self._tracer.export_env \
+                and PARENT_ENV_VAR not in os.environ:
+            # root span of this process tree: children spawned while it is
+            # open parent under it (workers see it via the environment)
+            os.environ[PARENT_ENV_VAR] = self.span_id
+            self._exported_env = True
+        self._at = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur = time.perf_counter() - self._t0
+        if self._token is not None:
+            _SPAN_STACK.reset(self._token)
+        if self._exported_env:
+            os.environ.pop(PARENT_ENV_VAR, None)
+        if exc_type is not None and "outcome" not in self._attrs:
+            self._attrs["outcome"] = f"raised:{exc_type.__name__}"
+        self._tracer.write({
+            "kind": "span",
+            "name": self.name,
+            "span": self.span_id,
+            "parent": self._parent,
+            "at": self._at,
+            "dur_s": round(dur, 9),
+            "attrs": self._attrs,
+        })
+
+
+class _NoopSpan:
+    """The shared disabled-path span: every operation is a no-op."""
+
+    __slots__ = ()
+    span_id = None
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+#: Singleton returned by :func:`span` when tracing is disabled.
+NOOP_SPAN = _NoopSpan()
+
+_SPAN_STACK: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro_obs_span_stack", default=())
+
+
+def _root_parent() -> Optional[str]:
+    """Cross-process parent for top-level spans, resolved at *use* time.
+
+    Read from the environment on every lookup rather than cached on the
+    tracer: the exporting root span pops the variable when it closes, so a
+    later root span in the same process correctly gets no parent (caching
+    would freeze the first root's id and self-parent every sweep after the
+    first).  Worker processes see the coordinator's export through their
+    inherited environment.
+    """
+    return os.environ.get(PARENT_ENV_VAR)
+
+
+class Tracer:
+    """Appends trace records to this process's JSONL sink.
+
+    The sink path embeds ``os.getpid()`` and is re-resolved on every write,
+    so a tracer inherited through ``fork`` transparently starts a new shard
+    for the child instead of interleaving with its parent.  Write failures
+    disable the sink for the rest of the process — telemetry must never
+    break the run it observes.
+    """
+
+    def __init__(self, directory: str | Path, export_env: bool = True) -> None:
+        self.directory = Path(directory)
+        self.export_env = export_env
+        self._pid: Optional[int] = None
+        self._fh: Optional[IO[str]] = None
+        self._broken = False
+
+    def sink_path(self) -> Path:
+        """This process's shard file (``trace-<pid>.jsonl``)."""
+        return self.directory / f"trace-{os.getpid()}.jsonl"
+
+    def _ensure_sink(self) -> Optional[IO[str]]:
+        pid = os.getpid()
+        if self._fh is not None and self._pid == pid:
+            return self._fh
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+        # forked child: fresh shard (the root parent, being read from the
+        # environment at use time, needs no refresh here)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.sink_path(), "a", encoding="utf-8")
+            self._pid = pid
+        except OSError:
+            self._broken = True
+            self._fh = None
+        return self._fh
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append one record (schema/pid stamped here); never raises."""
+        if self._broken:
+            return
+        fh = self._ensure_sink()
+        if fh is None:
+            return
+        record = {"schema": TRACE_SCHEMA_VERSION, "pid": os.getpid(), **record}
+        try:
+            fh.write(json.dumps(record) + "\n")
+            fh.flush()
+        except (OSError, ValueError, TypeError):
+            self._broken = True
+
+    # -- record constructors ------------------------------------------- #
+    def span(self, name: str, key: Optional[str] = None,
+             **attrs: Any) -> Span:
+        return Span(self, name, key, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        stack = _SPAN_STACK.get()
+        self.write({
+            "kind": "event",
+            "name": name,
+            "span": stack[-1] if stack else _root_parent(),
+            "at": time.time(),
+            "attrs": _clean_attrs(attrs),
+        })
+
+    def metric(self, metric: str, value: float,
+               labels: Dict[str, Any]) -> None:
+        stack = _SPAN_STACK.get()
+        self.write({
+            "kind": "metric",
+            "metric": metric,
+            "value": value,
+            "labels": _clean_attrs(labels),
+            "span": stack[-1] if stack else _root_parent(),
+            "at": time.time(),
+        })
+
+
+# ---------------------------------------------------------------------- #
+# process-global activation state (the FaultInjector pattern)
+# ---------------------------------------------------------------------- #
+_UNRESOLVED = object()   # env not consulted yet (spawned child processes)
+_TRACER: Any = _UNRESOLVED
+
+
+def activate(directory: str | Path, export_env: bool = True) -> Tracer:
+    """Arm tracing into ``directory`` (and, via env, in future children)."""
+    global _TRACER
+    _TRACER = Tracer(directory, export_env=export_env)
+    if export_env:
+        os.environ[ENV_VAR] = str(directory)
+    return _TRACER
+
+
+def deactivate() -> None:
+    """Disarm tracing and clear the environment handoff."""
+    global _TRACER
+    if isinstance(_TRACER, Tracer) and _TRACER._fh is not None:
+        try:
+            _TRACER._fh.close()
+        except OSError:
+            pass
+    _TRACER = None
+    os.environ.pop(ENV_VAR, None)
+    os.environ.pop(PARENT_ENV_VAR, None)
+
+
+def _resolve() -> Optional[Tracer]:
+    global _TRACER
+    if _TRACER is _UNRESOLVED:
+        raw = os.environ.get(ENV_VAR)
+        _TRACER = Tracer(raw, export_env=False) if raw else None
+    return _TRACER
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The armed tracer, resolving the env handoff if needed."""
+    return _resolve()
+
+
+def enabled() -> bool:
+    """Whether tracing is armed in this process (cheap; safe on hot paths)."""
+    tracer = _TRACER
+    if tracer is _UNRESOLVED:
+        tracer = _resolve()
+    return tracer is not None
+
+
+def span(name: str, key: Optional[str] = None, **attrs: Any):
+    """Open a span (context manager); the shared no-op when disarmed.
+
+    ``key`` is the span's identity (e.g. the canonical cell hash) — see the
+    module docstring for why ids are deterministic.
+    """
+    tracer = _TRACER
+    if tracer is _UNRESOLVED:
+        tracer = _resolve()
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, key, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Emit a point-in-time event (no-op when disarmed)."""
+    tracer = _TRACER
+    if tracer is _UNRESOLVED:
+        tracer = _resolve()
+    if tracer is not None:
+        tracer.event(name, **attrs)
+
+
+def warning_event(category: str, message: str, **attrs: Any) -> None:
+    """The structured twin of a ``warnings.warn`` call.
+
+    Warnings raised inside pool/shard worker subprocesses never reach the
+    coordinating process's ``warnings`` machinery; dual-emitting them here
+    makes degradation visible in the merged trace of the whole fleet.
+    ``category`` is the warning class name (``DegradedExecutionWarning``,
+    ``StoreIntegrityWarning``, ``TornLogWarning``, ...).
+    """
+    tracer = _TRACER
+    if tracer is _UNRESOLVED:
+        tracer = _resolve()
+    if tracer is not None:
+        tracer.event("warning", category=category, message=message, **attrs)
+
+
+def current_span_id() -> Optional[str]:
+    """The innermost open span id in this process (or ``None``)."""
+    stack = _SPAN_STACK.get()
+    return stack[-1] if stack else None

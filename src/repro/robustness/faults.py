@@ -287,6 +287,7 @@ class FaultInjector:
         if spec is None:
             return None
         self._journal(spec, ctx)
+        self._trace(spec, ctx)
         if spec.shape == "delay":
             time.sleep(spec.delay_s)
             return None
@@ -312,6 +313,26 @@ class FaultInjector:
         """Per-spec firing counts (this process only)."""
         with self._lock:
             return list(self._fired)
+
+    def _trace(self, spec: FaultSpec, ctx: Optional[Dict[str, Any]]) -> None:
+        """Mirror a firing into the armed trace (lazy import: firings are
+        rare, and :mod:`repro.robustness` must not import :mod:`repro.obs`
+        at module level).  ``kill-worker`` traces *before* the SIGKILL —
+        metric lines are flushed per write, so even a death is recorded."""
+        try:
+            from repro.obs import metrics as obs_metrics
+            from repro.obs import trace as obs_trace
+        except ImportError:   # pragma: no cover — partial install
+            return
+        if not obs_trace.enabled():
+            return
+        # seam ctx keys win over the injector's own fields (a lease seam's
+        # ctx carries worker=<name>, which must not collide)
+        attrs = {"seam": spec.seam, "shape": spec.shape,
+                 "in_worker": _IS_WORKER}
+        attrs.update((str(k), str(v)) for k, v in (ctx or {}).items())
+        obs_trace.event("fault.fired", **attrs)
+        obs_metrics.count("fault.fired", seam=spec.seam, shape=spec.shape)
 
     def _journal(self, spec: FaultSpec, ctx: Optional[Dict[str, Any]]) -> None:
         if not self.plan.journal:

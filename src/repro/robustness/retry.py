@@ -46,6 +46,7 @@ __all__ = [
     "SweepDeadlineError",
     "Deadline",
     "call_with_retry",
+    "emit_retry_telemetry",
 ]
 
 #: Exception type names treated as permanent (deterministic) failures.
@@ -165,16 +166,43 @@ class Deadline:
                 f"{label}: sweep deadline of {self.seconds}s expired")
 
 
+def emit_retry_telemetry(label: str, key: Optional[str], attempt: int,
+                         delay: float, error: str) -> None:
+    """Trace one retry decision (cold path — only reached on a transient
+    failure with budget left).
+
+    Imported lazily so :mod:`repro.robustness` never depends on
+    :mod:`repro.obs` at module level; with tracing disarmed this is one
+    function call per *retry*, not per cell.  ``key`` is the canonical cell
+    hash when the caller has one — the acceptance contract is that every
+    retry event carries it.
+    """
+    try:
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace as obs_trace
+    except ImportError:   # pragma: no cover — partial install
+        return
+    if not obs_trace.enabled():
+        return
+    obs_trace.event("retry", cell=key or label, label=label,
+                    attempt=attempt, backoff_s=round(delay, 6), error=error)
+    obs_metrics.count("retry.attempts")
+    obs_metrics.observe("retry.backoff_s", delay)
+
+
 def call_with_retry(fn: Callable[[], Any], policy: RetryPolicy,
                     label: str = "", deadline: Optional[Deadline] = None,
-                    prior_attempts: int = 0) -> Any:
+                    prior_attempts: int = 0,
+                    key: Optional[str] = None) -> Any:
     """Run ``fn`` under ``policy``, retrying transient errors.
 
     ``prior_attempts`` charges attempts already spent on this label (e.g.
     recorded in a ``state:"failed"`` marker by an earlier run) against the
     budget.  Permanent errors re-raise immediately; a transient error on
     the final allowed attempt raises :class:`RetryExhausted` carrying the
-    formatted error and the total attempt count.
+    formatted error and the total attempt count.  ``key`` is the cell's
+    canonical store hash, attached to retry trace events (telemetry only —
+    it does not affect the schedule, which is keyed on ``label``).
     """
     attempt = prior_attempts
     while True:
@@ -199,5 +227,6 @@ def call_with_retry(fn: Callable[[], Any], policy: RetryPolicy,
                         raise RetryExhausted(label or "cell", error,
                                              attempt) from exc
                     delay = min(delay, rem)
+            emit_retry_telemetry(label, key, attempt, delay, error)
             if delay > 0:
                 time.sleep(delay)

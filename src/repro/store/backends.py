@@ -43,6 +43,8 @@ from repro.experiments.runner import (
     work_item_for_cell,
     cell_result_from_pool_summary,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.robustness.retry import (
     DEFAULT_RETRY_POLICY,
     RetryExhausted,
@@ -92,6 +94,7 @@ class SerialBackend:
         fresh: Dict[int, CellResult] = {}
         for i in misses:
             cell = sweep.cells[i]
+            key = runner.store.key_for(cell)
 
             def compute_and_persist(cell=cell):
                 t0 = time.perf_counter()
@@ -104,19 +107,36 @@ class SerialBackend:
                                      elapsed=time.perf_counter() - t0)
                 return result
 
-            try:
-                fresh[i] = call_with_retry(compute_and_persist, retry,
-                                           label=cell.name, deadline=deadline)
-            except RetryExhausted as exc:
-                fresh[i] = failed_cell_result(cell, exc.error,
-                                              attempts=exc.attempts,
-                                              kind="transient-exhausted")
-            except SweepDeadlineError as exc:
-                fresh[i] = failed_cell_result(
-                    cell, f"SweepDeadlineError: {exc}", attempts=0,
-                    kind="transient-exhausted")
-            except Exception as exc:   # noqa: BLE001 — per-cell isolation
-                fresh[i] = failed_cell_result(cell, format_cell_error(exc))
+            t_cell = time.perf_counter()
+            # span identity is the canonical cell hash, so a rerun of the
+            # same cell — any process, any backend — shares its span id
+            with obs_trace.span("cell.compute", key=key, cell=key,
+                                cell_label=cell.name,
+                                backend=self.name) as cell_span:
+                try:
+                    fresh[i] = call_with_retry(compute_and_persist, retry,
+                                               label=cell.name,
+                                               deadline=deadline, key=key)
+                    cell_span.set(outcome="computed")
+                    obs_metrics.count("cells.computed")
+                    obs_metrics.observe("cell.elapsed_s",
+                                        time.perf_counter() - t_cell)
+                except RetryExhausted as exc:
+                    fresh[i] = failed_cell_result(cell, exc.error,
+                                                  attempts=exc.attempts,
+                                                  kind="transient-exhausted")
+                    cell_span.set(outcome="failed", attempts=exc.attempts)
+                    obs_metrics.count("cells.failed")
+                except SweepDeadlineError as exc:
+                    fresh[i] = failed_cell_result(
+                        cell, f"SweepDeadlineError: {exc}", attempts=0,
+                        kind="transient-exhausted")
+                    cell_span.set(outcome="deadline")
+                    obs_metrics.count("cells.failed")
+                except Exception as exc:   # noqa: BLE001 — per-cell isolation
+                    fresh[i] = failed_cell_result(cell, format_cell_error(exc))
+                    cell_span.set(outcome="failed")
+                    obs_metrics.count("cells.failed")
         return fresh
 
 
@@ -143,6 +163,7 @@ class PoolBackend:
                 items, max_workers=self.max_workers):
             i = misses[idx]
             cell = sweep.cells[i]
+            key = runner.store.key_for(cell)
             result = cell_result_from_pool_summary(cell, summary)
             if (result.extra.get("failed")
                     and result.extra.get("kind") != "permanent"
@@ -150,21 +171,28 @@ class PoolBackend:
                 # transient pool failure with budget left: attempts 2..N run
                 # serially in this process (the pool already charged one)
                 result = self._retry_in_process(cell, result, runner, retry,
-                                                deadline)
+                                                deadline, key=key)
+            # the coordinating process does the counting for the pool: its
+            # workers only traced the compute span (they have no store key,
+            # and counting there too would double-book every cell)
             if not result.extra.get("failed"):
                 runner.persist_fresh(cell, result, elapsed=None)
+                obs_metrics.count("cells.computed")
+            else:
+                obs_metrics.count("cells.failed")
             fresh[i] = result
         return fresh
 
     @staticmethod
     def _retry_in_process(cell, failed: CellResult, runner, retry,
-                          deadline) -> CellResult:
+                          deadline, key=None) -> CellResult:
         def compute(cell=cell):
             return run_cell(cell)
 
         try:
             return call_with_retry(compute, retry, label=cell.name,
-                                   deadline=deadline, prior_attempts=1)
+                                   deadline=deadline, prior_attempts=1,
+                                   key=key)
         except RetryExhausted as exc:
             return failed_cell_result(cell, exc.error, attempts=exc.attempts,
                                       kind="transient-exhausted")

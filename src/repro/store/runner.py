@@ -41,6 +41,8 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.experiments.config import ExperimentConfig, SweepConfig
 from repro.experiments.results import CellResult, ExperimentReport
 from repro.experiments.runner import attach_failures
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.robustness import DegradedExecutionWarning
 from repro.robustness.retry import DEFAULT_RETRY_POLICY, Deadline, RetryPolicy
 from repro.store.artifacts import build_provenance
@@ -178,35 +180,53 @@ class CachedSweepRunner:
         """
         if max_workers is _UNSET:
             max_workers = self.max_workers
-        hits, misses = self.partition(sweep)
-        self.last_stats = CacheStats(hits=len(hits), misses=len(misses))
+        # the sweep span is the root of the whole fleet's trace: worker
+        # processes spawned while it is open parent their spans under it
+        with obs_trace.span("sweep", key=sweep.name, sweep=sweep.name,
+                            cells=len(sweep.cells), offline=self.offline,
+                            kernel=_kernel_id()) as sweep_span:
+            hits, misses = self.partition(sweep)
+            self.last_stats = CacheStats(hits=len(hits), misses=len(misses))
+            if obs_trace.enabled():
+                if hits:
+                    obs_metrics.count("cache.hits", len(hits))
+                if misses:
+                    obs_metrics.count("cache.misses", len(misses))
 
-        fresh: Dict[int, CellResult] = {}
-        if misses and self.offline:
-            raise StoreMissError([sweep.cells[i].name for i in misses])
-        if misses:
-            # one wall-clock deadline for the whole sweep; every backend's
-            # retry loop (and the shard workers, via their spawn args)
-            # checks it so an unlucky fleet cannot hang past its budget
-            self._deadline = Deadline(self.retry.deadline_s)
-            backend = resolve_backend(self.backend, max_workers)
-            try:
-                fresh = backend.execute(sweep, misses, self)
-            finally:
-                self._deadline = None
+            fresh: Dict[int, CellResult] = {}
+            if misses and self.offline:
+                raise StoreMissError([sweep.cells[i].name for i in misses])
+            if misses:
+                # one wall-clock deadline for the whole sweep; every
+                # backend's retry loop (and the shard workers, via their
+                # spawn args) checks it so an unlucky fleet cannot hang
+                # past its budget
+                self._deadline = Deadline(self.retry.deadline_s)
+                backend = resolve_backend(self.backend, max_workers)
+                sweep_span.set(backend=backend.name)
+                try:
+                    fresh = backend.execute(sweep, misses, self)
+                finally:
+                    self._deadline = None
 
-        report = ExperimentReport(name=sweep.name, description=sweep.description)
-        keys: Dict[str, str] = {}
-        for i, cell in enumerate(sweep):
-            if i in fresh:
-                result = fresh[i]
-            else:
-                # serve the cached metrics under the requesting cell's config
-                result = replace(hits[i].result, config=cell)
-            report.add(result)
-            keys[cell.name] = self.store.key_for(cell)
-        report.meta["store"] = {"keys": keys, "schema": 1}
-        self.last_stats.failures = len(attach_failures(report))
+            report = ExperimentReport(name=sweep.name,
+                                      description=sweep.description)
+            keys: Dict[str, str] = {}
+            for i, cell in enumerate(sweep):
+                if i in fresh:
+                    result = fresh[i]
+                else:
+                    # serve cached metrics under the requesting cell's config
+                    result = replace(hits[i].result, config=cell)
+                report.add(result)
+                keys[cell.name] = self.store.key_for(cell)
+            report.meta["store"] = {"keys": keys, "schema": 1}
+            self.last_stats.failures = len(attach_failures(report))
+            if self.last_stats.failures:
+                obs_metrics.count("cache.failures", self.last_stats.failures)
+            sweep_span.set(hits=self.last_stats.hits,
+                           misses=self.last_stats.misses,
+                           failures=self.last_stats.failures)
         return report
 
     # ------------------------------------------------------------------ #
@@ -225,10 +245,13 @@ class CachedSweepRunner:
         except OSError as exc:
             if not self._persist_degraded:
                 self._persist_degraded = True
-                warnings.warn(
-                    f"store {self.store.root} is not writable ({exc}); "
-                    f"results are returned but not persisted",
-                    DegradedExecutionWarning, stacklevel=2)
+                message = (f"store {self.store.root} is not writable "
+                           f"({exc}); results are returned but not persisted")
+                warnings.warn(message, DegradedExecutionWarning, stacklevel=2)
+                obs_trace.warning_event(
+                    "DegradedExecutionWarning", message,
+                    rung="store-unwritable", cell=self.store.key_for(cell))
+                obs_metrics.count("degraded", rung="store-unwritable")
             return self.store.key_for(cell)
         self.last_stats.executed.append(key)
         return key

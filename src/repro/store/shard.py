@@ -74,6 +74,8 @@ from repro.engine.parallel import format_cell_error, recommended_workers
 from repro.experiments.config import ExperimentConfig, SweepConfig
 from repro.experiments.results import CellResult
 from repro.experiments.runner import failed_cell_result, run_cell
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.robustness import DegradedExecutionWarning, TornLogWarning
 from repro.robustness.faults import (
     InjectedFault,
@@ -86,6 +88,7 @@ from repro.robustness.retry import (
     Deadline,
     RetryPolicy,
     classify_error,
+    emit_retry_telemetry,
 )
 from repro.store.artifacts import build_provenance
 from repro.store.runner import _kernel_id
@@ -158,11 +161,13 @@ class LeaseManager:
         try:
             fd = os.open(self._path(key), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
+            obs_metrics.count("lease.acquire_lost")
             return False
         try:
             os.write(fd, payload.encode("utf-8"))
         finally:
             os.close(fd)
+        obs_metrics.count("lease.acquired")
         if spec is not None and spec.shape == "stale-clock":
             self._apply_stale_clock(key, spec.skew_s)
         return True
@@ -204,6 +209,7 @@ class LeaseManager:
                 time.sleep(0.01)
         try:
             self._path(key).unlink()
+            obs_metrics.count("lease.released")
         except FileNotFoundError:
             pass   # reclaimed from under us; the payload still marks us done
 
@@ -325,6 +331,9 @@ class LeaseManager:
                 path.unlink()
             except FileNotFoundError:
                 return False
+            obs_metrics.count("lease.reclaimed")
+            obs_trace.event("lease.reclaimed", cell=key,
+                            from_worker=str(observed.get("worker", "")))
             return True
 
     # ------------------------------------------------------------------ #
@@ -457,6 +466,7 @@ class ShardWorker:
                     progressed = True
             pending = still_pending
             if pending and not progressed:
+                obs_metrics.observe("lease.wait_s", self.poll_interval)
                 time.sleep(self.poll_interval)
         return resolved
 
@@ -524,25 +534,42 @@ class ShardWorker:
         """
         t0 = time.perf_counter()
         attempts = prior_attempts
-        while True:
-            attempts += 1
-            try:
-                result = run_cell(cell)
-                break
-            except Exception as exc:   # noqa: BLE001 — per-cell isolation
-                error = format_cell_error(exc)
-                kind = classify_error(exc)
-                out_of_time = (self.deadline is not None
-                               and self.deadline.expired())
-                if kind == "permanent" or attempts >= self.retry.max_attempts \
-                        or out_of_time:
-                    final = ("permanent" if kind == "permanent"
-                             else "transient-exhausted")
-                    self.leases.mark_failed(key, cell.name, error,
-                                            attempts=attempts, kind=final)
-                    return failed_cell_result(cell, error, attempts=attempts,
-                                              kind=final)
-                time.sleep(self.retry.backoff_s(attempts, token=key))
+        # keyed by the canonical cell hash: if this worker dies and another
+        # recomputes the cell, both instances share one deterministic span id
+        with obs_trace.span("cell.compute", key=key, cell=key,
+                            cell_label=cell.name, backend="shard",
+                            worker=self.leases.worker) as cell_span:
+            while True:
+                attempts += 1
+                try:
+                    result = run_cell(cell)
+                    break
+                except Exception as exc:   # noqa: BLE001 — per-cell isolation
+                    error = format_cell_error(exc)
+                    kind = classify_error(exc)
+                    out_of_time = (self.deadline is not None
+                                   and self.deadline.expired())
+                    if kind == "permanent" \
+                            or attempts >= self.retry.max_attempts \
+                            or out_of_time:
+                        final = ("permanent" if kind == "permanent"
+                                 else "transient-exhausted")
+                        self.leases.mark_failed(key, cell.name, error,
+                                                attempts=attempts, kind=final)
+                        cell_span.set(outcome="failed", attempts=attempts,
+                                      kind=final)
+                        # counted at the one site that records the failure,
+                        # so markers read back by other workers don't double-
+                        # book the same failed cell
+                        obs_metrics.count("cells.failed")
+                        return failed_cell_result(cell, error,
+                                                  attempts=attempts,
+                                                  kind=final)
+                    delay = self.retry.backoff_s(attempts, token=key)
+                    emit_retry_telemetry(cell.name, key, attempts, delay,
+                                         error)
+                    time.sleep(delay)
+            cell_span.set(outcome="computed", attempts=attempts)
         provenance = build_provenance(extra={
             "seed": cell.seed,
             "engine": result.extra.get("engine", cell.engine),
@@ -554,6 +581,10 @@ class ShardWorker:
         provenance.pop("cell_keys", None)
         self.store.put(cell, result, provenance)
         self.leases.log_execution(key, cell.name, attempts=attempts)
+        # adjacent to log_execution on purpose: the merged trace's
+        # ``cells.computed`` must reconcile 1:1 with executions.jsonl lines
+        obs_metrics.count("cells.computed")
+        obs_metrics.observe("cell.elapsed_s", time.perf_counter() - t0)
         self.computed.append(key)
         return result
 
@@ -612,10 +643,13 @@ class ShardBackend:
             # infrastructure (read-only store dir, dead shared mount) shard
             # coordination is impossible — the pool backend still computes
             # everything in-process-tree and the runner persists what it can
-            warnings.warn(
-                f"shard backend: lease infrastructure unavailable under "
-                f"{store.root} ({exc}); degrading to pool execution",
-                DegradedExecutionWarning, stacklevel=2)
+            message = (f"shard backend: lease infrastructure unavailable "
+                       f"under {store.root} ({exc}); degrading to pool "
+                       f"execution")
+            warnings.warn(message, DegradedExecutionWarning, stacklevel=2)
+            obs_trace.warning_event("DegradedExecutionWarning", message,
+                                    rung="shard-to-pool")
+            obs_metrics.count("degraded", rung="shard-to-pool")
             from repro.store.backends import PoolBackend
 
             return PoolBackend(self.workers).execute(sweep, misses, runner)

@@ -74,6 +74,8 @@ import numpy as np
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import CellResult
 from repro.io.serialization import from_jsonable, to_jsonable
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.robustness import StoreIntegrityWarning
 from repro.robustness.faults import fault_point
 from repro.store.hashing import cell_key, short_key
@@ -217,6 +219,7 @@ class ResultStore:
                            seam="store.payload_write")
         if not use_sidecar and sidecar.exists():
             sidecar.unlink()   # overwrite dropped the reference: no orphan
+        obs_metrics.count("store.put")
         return key
 
     def get(self, config_or_key: ExperimentConfig | str) -> Optional[StoreRecord]:
@@ -234,12 +237,15 @@ class ResultStore:
                else self.key_for(config_or_key))
         path = self._payload_path(key)
         if not path.exists():
+            obs_metrics.count("store.get.miss")
             return None
         try:
             raw = self._load_verified(path)
             if raw is None:
+                obs_metrics.count("store.get.miss")
                 return None   # written by another version: a miss, not damage
             self._attach_sidecar_rounds(raw, key)
+            obs_metrics.count("store.get.hit")
             return StoreRecord(
                 key=raw["key"],
                 config=dict(raw["config"]),
@@ -253,10 +259,12 @@ class ResultStore:
             sidecar = self._sidecar_path(key)
             if sidecar.exists():
                 self._quarantine(sidecar)   # keep the pair inspectable together
-            warnings.warn(
-                f"store entry {short_key(key)} failed verification and was "
-                f"quarantined ({exc}); the cell will be recomputed",
-                StoreIntegrityWarning, stacklevel=2)
+            message = (f"store entry {short_key(key)} failed verification and "
+                       f"was quarantined ({exc}); the cell will be recomputed")
+            warnings.warn(message, StoreIntegrityWarning, stacklevel=2)
+            obs_trace.warning_event("StoreIntegrityWarning", message, cell=key)
+            obs_metrics.count("store.quarantine")
+            obs_metrics.count("store.get.miss")
             return None
 
     def _load_verified(self, path: Path) -> Optional[Dict[str, Any]]:
@@ -513,7 +521,7 @@ class ResultStore:
         for row in self.ls_rows():
             label = row.get("kernel") or "unrecorded"
             kernels[label] = kernels.get(label, 0) + 1
-        return {
+        info = {
             "root": str(self.root),
             "schema": STORE_SCHEMA_VERSION,
             "entries": len(keys),
@@ -523,4 +531,33 @@ class ResultStore:
             "quarantined": n_quarantined,
             "multinomial_kernels": ", ".join(
                 f"{k}={v}" for k, v in sorted(kernels.items())) or "none",
+        }
+        info.update(self._trace_info())
+        return info
+
+    def _trace_info(self) -> Dict[str, Any]:
+        """Aggregate telemetry facts when the store carries a trace directory.
+
+        ``sweep --trace`` defaults its trace directory to ``<store>/obs``,
+        so ``store info`` is the natural place to surface the merged
+        counters of the last traced run(s).  Empty dict when no trace
+        exists — the historical ``info()`` shape is unchanged for untraced
+        stores.
+        """
+        trace_dir = self.root / "obs"
+        if not trace_dir.is_dir():
+            return {}
+        from repro.obs.export import merge_trace
+
+        merged = merge_trace(trace_dir)
+        summary = merged.summary()
+        return {
+            "trace_files": summary["files"],
+            "trace_lines": summary["lines"],
+            "trace_torn_lines": summary["torn_lines"],
+            "trace_processes": summary["processes"],
+            "trace_warnings": summary["warnings"],
+            "trace_counters": ", ".join(
+                f"{name}={value:g}"
+                for name, value in sorted(merged.counters.items())) or "none",
         }
