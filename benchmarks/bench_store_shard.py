@@ -5,6 +5,9 @@ Times the store-routed execution backends on one moderate sweep —
 * ``serial``: cold in-process execution through ``CachedSweepRunner``,
 * ``shard``: the same sweep cold on a fresh store with K lease-based worker
   processes (coordination overhead + real parallelism),
+* ``http``: the same sweep cold through a localhost coordinator with K
+  store-less workers (the shard protocol plus an HTTP round-trip per lease
+  op and per result upload — the disjoint-filesystem tax),
 * ``warm``: the identical sweep against the populated store (all hits —
   the zero-recompute floor),
 * ``offline``: warm replay with execution forbidden (figure regeneration) —
@@ -39,6 +42,9 @@ from repro.obs.export import merge_trace
 from repro.store import (
     ArtifactRegistry,
     CachedSweepRunner,
+    CoordinatorServer,
+    CoordinatorStore,
+    HttpBackend,
     ResultStore,
     build_provenance,
     read_execution_log,
@@ -106,6 +112,22 @@ def run(reduced: bool = False) -> dict:
             assert shard_report == serial_report, \
                 "shard report != serial report"
 
+            http_store = ResultStore(tmp / "http")
+            with CoordinatorServer(http_store) as coord:
+                http_runner = CachedSweepRunner(
+                    CoordinatorStore(coord.url),
+                    backend=HttpBackend(coord.url, workers=WORKERS))
+                with obs_trace.span("bench.stage", key="http-cold",
+                                    stage="http-cold"):
+                    http_report, http_s = _timed(
+                        lambda: http_runner.run(sweep))
+            http_keys = [r["key"] for r in read_execution_log(http_store.root)]
+            assert sorted(http_keys) == sorted(set(http_keys)), \
+                "duplicate computation over http!"
+            assert len(http_keys) == len(sweep), "lost cells over http!"
+            assert http_report == serial_report, \
+                "http report != serial report"
+
             with obs_trace.span("bench.stage", key="warm", stage="warm"):
                 _, warm_s = _timed(lambda: shard_runner.run(sweep))
             assert shard_runner.last_stats.misses == 0
@@ -145,7 +167,9 @@ def run(reduced: bool = False) -> dict:
         "cpu_count": cpus,
         "serial_cold_s": round(serial_s, 4),
         "shard_cold_s": round(shard_s, 4),
+        "http_cold_s": round(http_s, 4),
         "shard_overhead_s": round(shard_s - ideal, 4),
+        "http_overhead_s": round(http_s - ideal, 4),
         "warm_s": round(warm_s, 4),
         "offline_s": round(offline_s, 4),
         "speedup_cold": round(serial_s / shard_s, 3) if shard_s else None,
@@ -182,11 +206,11 @@ def test_shard_invariants_reduced(benchmark=None):
     """Exactly-once compute, warm zero-execute, offline == cold (tiny sweep)."""
     payload = run(reduced=True)
     assert payload["sweep"]["cells"] == 2
-    assert set(payload["stages"]) == {"serial-cold", "shard-cold", "warm",
-                                      "offline"}
-    # serial + shard cold runs both computed the whole sweep; the traced
-    # counters see every one of those executions
-    assert payload["telemetry"]["counters"]["cells.computed"] == 4
+    assert set(payload["stages"]) == {"serial-cold", "shard-cold",
+                                      "http-cold", "warm", "offline"}
+    # serial, shard and http cold runs each computed the whole sweep; the
+    # traced counters see every one of those executions
+    assert payload["telemetry"]["counters"]["cells.computed"] == 6
 
 
 if __name__ == "__main__":

@@ -18,14 +18,21 @@ Subcommands
     ignores the store for this invocation; ``--rerun`` recomputes every cell
     and overwrites its store entry (use after semantics-changing code edits).
 
-    Execution backends (``--backend {serial,pool,shard}``, with ``--workers
-    K``): ``serial`` runs misses in-process, ``pool`` uses the process pool,
-    and ``shard`` launches K worker processes that *lease* pending cells
-    from the store (atomic lease files, stale-lease reclaim), so several
-    invocations — even from different terminals, even with overlapping
-    sweeps — cooperate on one store and compute every cell exactly once.
+    Execution backends (``--backend {serial,pool,shard,http}``, with
+    ``--workers K``): ``serial`` runs misses in-process, ``pool`` uses the
+    process pool, and ``shard`` launches K worker processes that *lease*
+    pending cells from the store (atomic lease files, stale-lease reclaim),
+    so several invocations — even from different terminals, even with
+    overlapping sweeps — cooperate on one store and compute every cell
+    exactly once.  ``http`` is the same lease protocol served over the
+    wire: ``--serve [ADDR]`` hosts the local ``--store`` behind a
+    coordinator (stdlib HTTP) while running the sweep through it, and
+    ``--coordinator URL`` points a store-less invocation at a running
+    coordinator, so workers on *disjoint filesystems* cooperate through
+    canonical cell hashes and push results back over HTTP.
     ``--worker`` attaches this process as one extra worker to a live store
-    instead of coordinating its own fleet; ``--from-store`` replays the
+    (or, with ``--coordinator``, to a remote coordinator) instead of
+    coordinating its own fleet; ``--from-store`` replays the
     sweep offline (zero recomputation — a missing cell is an error, exit 1).
     A cell that fails is reported per-cell (label + error, exit code 3)
     instead of aborting the sweep.  ``--sidecar-at R`` stores per-run rounds
@@ -127,17 +134,31 @@ def build_parser() -> argparse.ArgumentParser:
                      help="recompute every cell and overwrite its store entry")
     swp.add_argument("--backend", default=None,
                      choices=sorted(BACKEND_NAMES),
-                     help="how missing cells execute (requires --store): "
-                          "'serial' in-process, 'pool' process pool, 'shard' "
-                          "lease-based multi-worker processes that dedup "
-                          "through the store (safe to launch concurrently)")
+                     help="how missing cells execute (requires --store or "
+                          "--coordinator): 'serial' in-process, 'pool' "
+                          "process pool, 'shard' lease-based multi-worker "
+                          "processes that dedup through the store (safe to "
+                          "launch concurrently), 'http' the same lease "
+                          "protocol against a coordinator URL")
     swp.add_argument("--workers", type=int, default=None,
-                     help="worker count for --backend pool/shard "
+                     help="worker count for --backend pool/shard/http "
                           "(default: cpu_count - 1)")
     swp.add_argument("--worker", action="store_true",
                      help="attach this process as one extra shard worker to "
-                          "a live store (no fleet of its own; requires "
-                          "--store)")
+                          "a live store (or, with --coordinator, to a "
+                          "remote coordinator) — no fleet of its own")
+    swp.add_argument("--coordinator", default=None, metavar="URL",
+                     help="coordinate through a running lease coordinator "
+                          "instead of a local --store: cells are leased "
+                          "from (and results pushed to) the coordinator's "
+                          "store over HTTP (implies --backend http)")
+    swp.add_argument("--serve", nargs="?", const="127.0.0.1:8765",
+                     default=None, metavar="ADDR",
+                     help="host the local --store behind an HTTP lease "
+                          "coordinator on ADDR (default 127.0.0.1:8765, "
+                          "port 0 picks a free port) while running this "
+                          "sweep through it; other hosts attach with "
+                          "--worker --coordinator URL")
     swp.add_argument("--from-store", action="store_true",
                      help="offline replay: assemble the report purely from "
                           "cached cells, never simulating (a missing cell "
@@ -231,15 +252,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.runs is not None:
         kwargs["num_runs"] = args.runs
 
+    if args.serve is not None and args.coordinator is not None:
+        print("error: --serve hosts its own coordinator; it cannot also "
+              "attach to --coordinator", file=sys.stderr)
+        return 2
+    if args.backend == "http" and args.coordinator is None \
+            and args.serve is None:
+        print("error: --backend http requires --coordinator URL (or "
+              "--serve to host one on the local --store)", file=sys.stderr)
+        return 2
+    if (args.coordinator is not None or args.serve is not None) \
+            and args.backend not in (None, "http"):
+        print(f"error: --coordinator/--serve imply --backend http, not "
+              f"{args.backend!r}", file=sys.stderr)
+        return 2
+
+    has_store = args.store is not None and not args.no_cache
+    # these only need *a* result store — local directory or coordinator URL
     store_features = [flag for flag, on in
                       (("--backend", args.backend is not None),
                        ("--worker", args.worker),
                        ("--from-store", args.from_store),
-                       ("--sidecar-at", args.sidecar_at is not None),
                        ("--retries", args.retries is not None),
                        ("--deadline", args.deadline is not None)) if on]
-    if store_features and (args.store is None or args.no_cache):
+    if store_features and not has_store and args.coordinator is None:
         print(f"error: {', '.join(store_features)} require(s) --store "
+              f"without --no-cache (or --coordinator URL)", file=sys.stderr)
+        return 2
+    # these touch the store *directory*, so a URL cannot satisfy them
+    local_features = [flag for flag, on in
+                      (("--sidecar-at", args.sidecar_at is not None),
+                       ("--serve", args.serve is not None)) if on]
+    if local_features and not has_store:
+        print(f"error: {', '.join(local_features)} require(s) --store "
               f"without --no-cache", file=sys.stderr)
         return 2
 
@@ -286,19 +331,45 @@ def _sweep_body(args: argparse.Namespace, kwargs: dict,
     func = _SWEEPS[args.name]
     runner = None
     store = None
-    if args.store is not None and not args.no_cache:
+    server = None
+    store_label = args.store
+    retry = None
+    if args.retries is not None or args.deadline is not None:
+        from repro.robustness import RetryPolicy
+        retry = RetryPolicy(
+            max_attempts=args.retries if args.retries is not None else 1,
+            deadline_s=args.deadline)
+    if args.coordinator is not None:
+        # fleet attach over HTTP: the coordinator's store is the store —
+        # this process needs no local filesystem store at all
+        from repro.store.coordinator import CoordinatorStore, HttpBackend
+
+        remote = CoordinatorStore(args.coordinator)
+        store_label = args.coordinator
+        backend = HttpBackend(args.coordinator,
+                              workers=0 if args.worker else args.workers)
+        runner = CachedSweepRunner(remote, rerun=args.rerun, backend=backend,
+                                   offline=args.from_store, retry=retry)
+        kwargs["runner"] = runner
+    elif args.store is not None and not args.no_cache:
         store = ResultStore(args.store, rounds_sidecar_at=args.sidecar_at)
         backend = args.backend
         if args.worker:
             # attach mode: this process becomes one extra shard worker on
             # the live store — no child fleet of its own
             backend = ShardBackend(workers=0)
-        retry = None
-        if args.retries is not None or args.deadline is not None:
-            from repro.robustness import RetryPolicy
-            retry = RetryPolicy(
-                max_attempts=args.retries if args.retries is not None else 1,
-                deadline_s=args.deadline)
+        if args.serve is not None:
+            # host the local store behind a coordinator and run this very
+            # sweep through it, so remote --worker --coordinator attachers
+            # cooperate with the fleet we spawn here
+            from repro.store.coordinator import CoordinatorServer, HttpBackend
+
+            host, _, port = args.serve.partition(":")
+            server = CoordinatorServer(store, host=host or "127.0.0.1",
+                                       port=int(port or 0)).start()
+            print(f"coordinator: {server.url} (serving {args.store}; attach "
+                  f"with: --worker --coordinator {server.url})")
+            backend = HttpBackend(server.url, workers=args.workers)
         runner = CachedSweepRunner(
             store, rerun=args.rerun, backend=backend,
             max_workers=args.workers if args.workers is not None
@@ -311,6 +382,9 @@ def _sweep_body(args: argparse.Namespace, kwargs: dict,
     except StoreMissError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if server is not None:
+            server.stop()
     print(figure.table)
     if figure.fits:
         print("\nScaling fits (best first):")
@@ -318,7 +392,8 @@ def _sweep_body(args: argparse.Namespace, kwargs: dict,
             print(f"  {fit.predictor_name}: slope={fit.slope:.3f}, "
                   f"intercept={fit.intercept:.3f}, R^2={fit.r_squared:.4f}")
     if runner is not None:
-        print(f"\ncache: {runner.last_stats.summary()} (store: {args.store})")
+        print(f"\ncache: {runner.last_stats.summary()} "
+              f"(store: {store_label})")
     if trace_dir is not None:
         print(f"trace: {trace_dir} (inspect with: repro-consensus obs "
               f"summarize --trace {trace_dir})")

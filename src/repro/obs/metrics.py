@@ -77,6 +77,19 @@ METRICS: Dict[str, Dict[str, str]] = {
     "lease.wait_s": {
         "kind": "histogram",
         "doc": "seconds spent sleeping on other workers' in-flight leases"},
+    # coordinator transport (repro.store.coordinator)
+    "coordinator.requests": {
+        "kind": "counter",
+        "doc": "HTTP requests handled by the lease coordinator"},
+    "coordinator.retries": {
+        "kind": "counter",
+        "doc": "client-side transport retries (connection errors / 5xx)"},
+    "coordinator.errors": {
+        "kind": "counter",
+        "doc": "coordinator requests that exhausted the transport budget"},
+    "coordinator.request_s": {
+        "kind": "histogram",
+        "doc": "client-observed seconds per coordinator request attempt"},
     # store traffic (repro.store.store)
     "store.put": {
         "kind": "counter", "doc": "payload records persisted"},

@@ -6,8 +6,10 @@ engine-independent hash of their :class:`~repro.experiments.config.ExperimentCon
 :class:`ResultStore` (:mod:`repro.store.store`, with optional NPZ rounds
 sidecars for large R), sweeps run through the resumable
 :class:`CachedSweepRunner` (:mod:`repro.store.runner`) on a pluggable
-execution backend (:mod:`repro.store.backends`: ``serial``, ``pool``, or the
-lease-based multi-worker ``shard`` backend of :mod:`repro.store.shard`), and
+execution backend (:mod:`repro.store.backends`: ``serial``, ``pool``, the
+lease-based multi-worker ``shard`` backend of :mod:`repro.store.shard`, or
+the coordinator-backed ``http`` backend of :mod:`repro.store.coordinator`
+for workers on disjoint filesystems), and
 derived outputs (benchmarks, figures, saved reports) record their input keys
 and git revision via :mod:`repro.store.artifacts`.
 
@@ -17,8 +19,9 @@ degradation, deterministic fault injection) is built on
 :mod:`repro.robustness` — see the README "Robustness" section.
 
 CLI surface: ``repro-consensus sweep --store DIR [--no-cache|--rerun]
-[--backend {serial,pool,shard}] [--workers K] [--worker] [--from-store]
-[--retries N] [--deadline S] [--fault-plan PLAN]``
+[--backend {serial,pool,shard,http}] [--workers K] [--worker] [--from-store]
+[--retries N] [--deadline S] [--fault-plan PLAN] [--serve [ADDR]]
+[--coordinator URL]``
 and ``repro-consensus store {ls,info,gc}``.
 """
 
@@ -29,6 +32,14 @@ from repro.store.backends import (
     PoolBackend,
     SerialBackend,
     resolve_backend,
+)
+from repro.store.coordinator import (
+    CoordinatorClient,
+    CoordinatorError,
+    CoordinatorServer,
+    CoordinatorStore,
+    HttpBackend,
+    HttpLeaseClient,
 )
 from repro.store.hashing import canonical_cell_dict, cell_key, short_key
 from repro.store.runner import (
@@ -67,6 +78,12 @@ __all__ = [
     "failed_markers",
     "read_execution_log",
     "run_sweep_sharded",
+    "CoordinatorServer",
+    "CoordinatorClient",
+    "CoordinatorError",
+    "CoordinatorStore",
+    "HttpLeaseClient",
+    "HttpBackend",
     "resolve_backend",
     "BACKEND_NAMES",
     "ArtifactRegistry",

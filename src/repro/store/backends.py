@@ -21,6 +21,15 @@ hits and misses; *how* the misses execute is delegated to an
     once and any worker can die and be replaced mid-sweep.  See
     :mod:`repro.store.shard`.
 
+``http`` (:class:`~repro.store.coordinator.HttpBackend`)
+    The shard protocol served over the wire: workers on *disjoint
+    filesystems* lease cells from (and push results back to) a
+    :class:`~repro.store.coordinator.CoordinatorServer` holding the one
+    real store.  Requires a coordinator URL, so the CLI/runner construct
+    the backend instance directly (``HttpBackend(url, workers)``) rather
+    than going through the by-name table.  See
+    :mod:`repro.store.coordinator`.
+
 Every backend has the same contract: execute the missing cells of a sweep,
 persist each one through the runner as it completes, and return the fresh
 results by sweep position.  A cell that raises is returned as the canonical
@@ -203,11 +212,12 @@ class PoolBackend:
 
 
 #: CLI-facing backend names (see :func:`resolve_backend`).
-BACKEND_NAMES = ("serial", "pool", "shard")
+BACKEND_NAMES = ("serial", "pool", "shard", "http")
 
 
 def resolve_backend(backend: Union[str, ExecutionBackend, None],
-                    max_workers: Optional[int] = 0) -> ExecutionBackend:
+                    max_workers: Optional[int] = 0,
+                    coordinator: Optional[str] = None) -> ExecutionBackend:
     """Turn a backend spec (name, instance or ``None``) into a backend.
 
     ``None`` keeps the historical ``max_workers`` convention of
@@ -215,7 +225,8 @@ def resolve_backend(backend: Union[str, ExecutionBackend, None],
     ``None``/>1 → pool.  For ``"shard"``, ``max_workers`` is the number of
     worker processes (``None`` → :func:`~repro.engine.parallel.recommended_workers`,
     ``0`` → run the worker loop in the calling process — the ``--worker``
-    attach mode).
+    attach mode).  ``"http"`` additionally needs ``coordinator`` (the
+    coordinator URL); ``max_workers`` follows the shard convention.
     """
     if backend is None:
         return SerialBackend() if max_workers in (0, 1) \
@@ -230,5 +241,14 @@ def resolve_backend(backend: Union[str, ExecutionBackend, None],
         from repro.store.shard import ShardBackend
 
         return ShardBackend(workers=max_workers)
+    if backend == "http":
+        if coordinator is None:
+            raise ValueError(
+                "backend 'http' needs a coordinator URL: pass "
+                "coordinator=... (CLI: --coordinator URL) or construct "
+                "repro.store.coordinator.HttpBackend directly")
+        from repro.store.coordinator import HttpBackend
+
+        return HttpBackend(coordinator, workers=max_workers)
     raise ValueError(f"unknown execution backend {backend!r}; "
                      f"available: {BACKEND_NAMES}")

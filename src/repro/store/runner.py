@@ -156,11 +156,34 @@ class CachedSweepRunner:
         :class:`StoreRecord` and ``misses`` lists the indices to execute.
         Duplicate cells (same key appearing twice in one sweep) are all
         treated as misses on a cold store; the last execution wins the slot.
+
+        Degradation ladder: a store that cannot be *read* (unreadable
+        directory, unreachable coordinator) turns every cell into a miss
+        with one :class:`DegradedExecutionWarning` — the sweep computes
+        everything instead of dying, the mirror image of
+        :meth:`persist_fresh`'s unwritable-store rung.
         """
         hits: Dict[int, StoreRecord] = {}
         misses: List[int] = []
+        unreadable = False
         for i, cell in enumerate(sweep):
-            record = None if self.rerun else self.store.get(cell)
+            record = None
+            if not self.rerun and not unreadable:
+                try:
+                    record = self.store.get(cell)
+                except OSError as exc:
+                    # one failed read degrades the whole partition: probing
+                    # the remaining cells would just replay the same error
+                    unreadable = True
+                    message = (f"store {self.store.root} is not readable "
+                               f"({exc}); treating every cell as a miss")
+                    warnings.warn(message, DegradedExecutionWarning,
+                                  stacklevel=2)
+                    obs_trace.warning_event(
+                        "DegradedExecutionWarning", message,
+                        rung="store-unreadable",
+                        cell=self.store.key_for(cell))
+                    obs_metrics.count("degraded", rung="store-unreadable")
             if record is None:
                 misses.append(i)
             else:

@@ -36,10 +36,17 @@ Lease lifecycle:
   failures are retryable across runs.
 * a worker that **dies** leaves a ``running`` lease behind.  Stale-lease
   reclaim rules: a lease whose recorded host equals the local host is stale
-  iff its pid is no longer alive (checked with ``kill(pid, 0)`` — immediate
-  and deterministic); a lease from another host is stale once its file mtime
-  is older than ``stale_after`` seconds (so for cross-host stores,
-  ``stale_after`` must exceed the longest cell).  Reclaimers serialize on a
+  iff its owner process is gone — the pid must be alive (``kill(pid, 0)``)
+  *and* belong to the same incarnation that acquired the lease (our own pid
+  is verified against the process nonce the lease carries; a foreign live
+  pid is verified via its ``/proc`` start time, which must predate the
+  lease's ``acquired_at`` — a recycled pid necessarily started later).
+  Same-host leases whose liveness cannot be verified, and leases from other
+  hosts, are stale once their file mtime is older than ``stale_after``
+  seconds (so for cross-host stores, ``stale_after`` must exceed the
+  longest cell); an mtime implausibly far in the *future* (broken foreign
+  clock) is treated as stale outright instead of carrying a negative age
+  that never crosses the TTL.  Reclaimers serialize on a
   ``flock`` mutex (``shard/reclaim.lock``) and re-verify under it that the
   on-disk lease is still the exact stale lease they observed before
   unlinking it, so a concurrent reclaim + re-acquire can never be clobbered;
@@ -68,7 +75,7 @@ import uuid
 import warnings
 from dataclasses import replace
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.parallel import format_cell_error, recommended_workers
 from repro.experiments.config import ExperimentConfig, SweepConfig
@@ -96,19 +103,49 @@ from repro.store.store import ResultStore
 
 __all__ = ["LeaseManager", "ShardWorker", "ShardBackend",
            "read_execution_log", "failed_markers", "run_sweep_sharded",
-           "worker_identity"]
+           "worker_identity", "process_nonce"]
 
-#: Default staleness horizon for leases from *other* hosts (seconds).  Same-
-#: host leases use pid liveness instead and ignore this value.
+#: Default staleness horizon for leases whose owner liveness cannot be
+#: verified directly (foreign hosts, unreadable /proc), in seconds.
 DEFAULT_STALE_AFTER = 300.0
 
 #: Default sleep between passes while waiting on other workers' leases.
 DEFAULT_POLL_INTERVAL = 0.05
 
+#: Same-host pid-liveness slack: a live pid whose /proc start time is later
+#: than the lease's ``acquired_at`` by more than this is a *recycled* pid
+#: (the dead owner's number reassigned), not the owner come back to life.
+PID_START_SLACK = 2.0
+
+#: Plausibility horizon for lease mtimes.  Anything further in the future
+#: than this is a broken clock (or an adversarial skew) and the lease is
+#: treated as stale — the alternative is a negative age that never crosses
+#: ``stale_after``, leaving the lease unreclaimable forever.
+FUTURE_MTIME_SLACK = 30.0
+
+_IDENTITY: Optional[Tuple[int, str]] = None
+
 
 def worker_identity() -> str:
-    """A unique worker id: ``host:pid:nonce`` (stable for the process)."""
-    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+    """A unique worker id ``host:pid:nonce``, memoized per process.
+
+    The nonce distinguishes process *incarnations* sharing a (recycled)
+    pid.  It is minted once and cached against the pid — every call site in
+    one process (and in a fork, which re-mints under the child's pid)
+    therefore agrees on one identity, as the lease protocol's ownership
+    comparisons require.
+    """
+    global _IDENTITY
+    pid = os.getpid()
+    if _IDENTITY is None or _IDENTITY[0] != pid:
+        _IDENTITY = (pid,
+                     f"{socket.gethostname()}:{pid}:{uuid.uuid4().hex[:8]}")
+    return _IDENTITY[1]
+
+
+def process_nonce() -> str:
+    """The per-process nonce component of :func:`worker_identity`."""
+    return worker_identity().rsplit(":", 1)[1]
 
 
 def _pid_alive(pid: int) -> bool:
@@ -119,6 +156,29 @@ def _pid_alive(pid: int) -> bool:
     except (PermissionError, OSError):
         return True   # exists but owned by someone else / unknown: assume live
     return True
+
+
+_BOOT_TIME: Optional[float] = None
+
+
+def _proc_start_time(pid: int) -> Optional[float]:
+    """Epoch start time of a live process via ``/proc``, ``None`` off-Linux."""
+    global _BOOT_TIME
+    try:
+        stat = Path(f"/proc/{pid}/stat").read_text()
+        # field 22 (starttime, clock ticks since boot); fields 3+ follow the
+        # last ')' so a comm with embedded spaces cannot shift the split
+        ticks = float(stat.rsplit(")", 1)[1].split()[19])
+        if _BOOT_TIME is None:
+            for line in Path("/proc/stat").read_text().splitlines():
+                if line.startswith("btime "):
+                    _BOOT_TIME = float(line.split()[1])
+                    break
+        if _BOOT_TIME is None:
+            return None
+        return _BOOT_TIME + ticks / float(os.sysconf("SC_CLK_TCK"))
+    except (OSError, ValueError, IndexError, AttributeError):
+        return None
 
 
 class LeaseManager:
@@ -136,10 +196,22 @@ class LeaseManager:
     def _path(self, key: str) -> Path:
         return self.leases_dir / f"{key}.json"
 
+    def identity(self) -> Dict[str, Any]:
+        """This manager's full lease identity: worker, pid, host, nonce.
+
+        The coordinator transport (:mod:`repro.store.coordinator`) passes a
+        *remote* worker's identity into :meth:`acquire` / :meth:`mark_failed`
+        so the one server-side :class:`LeaseManager` writes leases on the
+        remote caller's behalf.
+        """
+        return {"worker": self.worker, "pid": os.getpid(),
+                "host": socket.gethostname(), "nonce": process_nonce()}
+
     # ------------------------------------------------------------------ #
     # lease lifecycle
     # ------------------------------------------------------------------ #
-    def acquire(self, key: str) -> bool:
+    def acquire(self, key: str,
+                identity: Optional[Dict[str, Any]] = None) -> bool:
         """Try to take the lease for ``key``; exactly one caller wins.
 
         The ``lease.acquire`` fault seam fires *before* the file is created:
@@ -147,16 +219,21 @@ class LeaseManager:
         live pid (which same-host reclaim would be blind to).  The
         cooperative ``stale-clock`` shape backdates the freshly won lease
         and records a foreign host, making this live owner look reclaimable
-        — the adversarial input to the stale-lease protocol.
+        — the adversarial input to the stale-lease protocol.  ``identity``
+        overrides the owner recorded in the lease (the coordinator acquiring
+        on behalf of a remote worker).
         """
-        spec = fault_point("lease.acquire", key=key, worker=self.worker)
+        who = identity or self.identity()
+        spec = fault_point("lease.acquire", key=key,
+                           worker=who.get("worker", self.worker))
         payload = json.dumps({
             "key": key,
-            "worker": self.worker,
-            "pid": os.getpid(),
-            "host": socket.gethostname(),
+            "worker": who.get("worker", self.worker),
+            "pid": who.get("pid"),
+            "host": who.get("host"),
             "acquired_at": time.time(),
             "state": "running",
+            "nonce": who.get("nonce"),
         })
         try:
             fd = os.open(self._path(key), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
@@ -190,48 +267,63 @@ class LeaseManager:
         except (OSError, json.JSONDecodeError):
             pass   # cooperation is best-effort; the run must stay correct
 
-    def release(self, key: str) -> None:
-        """Drop a lease this worker holds (after persisting, or on skip).
+    def release(self, key: str, worker: Optional[str] = None) -> None:
+        """Drop a lease ``worker`` holds (after persisting, or on skip).
 
         A failed release is retried a few times before giving up: an
         unreleased lease owned by a *live* process is invisible to same-host
         reclaim, so release is the one lifecycle step where retrying in
         place is the only self-healing option (if the process dies instead,
         pid-liveness reclaim takes over).
+
+        The unlink is ownership-checked against the *full* worker identity:
+        a lease that was reclaimed and re-acquired by someone else in the
+        meantime is never clobbered by the old owner's late release.
         """
+        worker = worker or self.worker
         for attempt in range(3):
             try:
-                fault_point("lease.release", key=key, worker=self.worker)
+                fault_point("lease.release", key=key, worker=worker)
                 break
             except InjectedFault:
                 if attempt == 2:
                     raise
                 time.sleep(0.01)
+        current = self.peek(key)
+        if current is None:
+            return   # reclaimed from under us; the payload still marks us done
+        if current.get("worker") != worker:
+            return   # re-acquired by a new owner: not ours to unlink anymore
         try:
             self._path(key).unlink()
             obs_metrics.count("lease.released")
         except FileNotFoundError:
-            pass   # reclaimed from under us; the payload still marks us done
+            pass   # reclaimed between peek and unlink: same story as above
 
     def mark_failed(self, key: str, cell_name: str, error: str,
-                    attempts: int = 1, kind: Optional[str] = None) -> None:
+                    attempts: int = 1, kind: Optional[str] = None,
+                    identity: Optional[Dict[str, Any]] = None) -> None:
         """Replace this worker's lease with a run-scoped failure marker.
 
         The marker records how many attempts the cell has consumed and the
         permanent / transient-exhausted classification, so a worker started
         later in the same run can tell whether the retry budget allows it to
         pick the cell back up (see :meth:`ShardWorker._resolve_one`).
+        ``identity`` overrides the recorded owner (coordinator on behalf of
+        a remote worker).
         """
         if kind is None:
             kind = ("permanent" if classify_error(error) == "permanent"
                     else "transient-exhausted")
+        who = identity or self.identity()
         path = self._path(key)
         tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps({
             "key": key,
-            "worker": self.worker,
-            "pid": os.getpid(),
-            "host": socket.gethostname(),
+            "worker": who.get("worker", self.worker),
+            "pid": who.get("pid"),
+            "host": who.get("host"),
+            "nonce": who.get("nonce"),
             "acquired_at": time.time(),
             "state": "failed",
             "cell": cell_name,
@@ -277,12 +369,56 @@ class LeaseManager:
             return False
         pid = lease.get("pid")
         if lease.get("host") == socket.gethostname() and isinstance(pid, int):
-            return not _pid_alive(pid)
+            if not _pid_alive(pid):
+                return True
+            same = self._same_incarnation(pid, lease)
+            if same is not None:
+                return not same
+            # liveness unverifiable (no /proc, legacy lease): age decides
+        return self._age_stale(key)
+
+    def _same_incarnation(self, pid: int,
+                          lease: Dict[str, Any]) -> Optional[bool]:
+        """Whether live ``pid`` is the same process that wrote ``lease``.
+
+        ``kill(pid, 0)`` proves only that *some* process holds the pid
+        today — after pid recycling, an unrelated process would keep a dead
+        worker's lease immortal.  Our own pid is checked against the
+        per-process nonce the lease carries; any other live pid is checked
+        via its ``/proc`` start time, which must predate the lease's
+        ``acquired_at`` (a recycled pid's process necessarily started after
+        the dead owner acquired).  ``None`` = unverifiable (non-Linux,
+        parse failure, no usable fields): the caller falls back to the
+        mtime-age TTL.
+        """
+        if pid == os.getpid():
+            nonce = lease.get("nonce")
+            if nonce is None:
+                return True   # legacy lease without a nonce, held by our pid
+            return nonce == process_nonce()
+        started = _proc_start_time(pid)
+        acquired = lease.get("acquired_at")
+        if started is None or not isinstance(acquired, (int, float)):
+            return None
+        return started <= float(acquired) + PID_START_SLACK
+
+    def _age_stale(self, key: str) -> bool:
+        """Mtime-age staleness with a clamp against future-dated leases.
+
+        A lease whose mtime sits implausibly far in the future (foreign
+        fast clock, ``stale-clock`` fault with negative skew) would
+        otherwise carry a *negative* age forever and never cross the TTL —
+        unreclaimable.  Such leases are stale outright; skews inside
+        :data:`FUTURE_MTIME_SLACK` still count as fresh.
+        """
         try:
-            age = time.time() - self._path(key).stat().st_mtime
+            mtime = self._path(key).stat().st_mtime
         except FileNotFoundError:
             return False   # already gone — nothing to reclaim
-        return age > self.stale_after
+        now = time.time()
+        if mtime > now + FUTURE_MTIME_SLACK:
+            return True
+        return (now - mtime) > self.stale_after
 
     @contextlib.contextmanager
     def _reclaim_mutex(self):
@@ -339,10 +475,12 @@ class LeaseManager:
     # ------------------------------------------------------------------ #
     # execution log (store-level compute counter)
     # ------------------------------------------------------------------ #
-    def log_execution(self, key: str, cell_name: str,
-                      attempts: int = 1) -> None:
+    def log_execution(self, key: str, cell_name: str, attempts: int = 1,
+                      worker: Optional[str] = None,
+                      pid: Optional[int] = None) -> None:
         line = json.dumps({"key": key, "cell": cell_name,
-                           "worker": self.worker, "pid": os.getpid(),
+                           "worker": worker or self.worker,
+                           "pid": os.getpid() if pid is None else int(pid),
                            "attempts": int(attempts),
                            "at": time.time()}) + "\n"
         # fault seam: ``torn-write`` appends half a line (no newline), the
@@ -418,10 +556,16 @@ class ShardWorker:
                  stale_after: float = DEFAULT_STALE_AFTER,
                  poll_interval: float = DEFAULT_POLL_INTERVAL,
                  retry: Optional[RetryPolicy] = None,
-                 deadline: Optional[Deadline] = None) -> None:
+                 deadline: Optional[Deadline] = None,
+                 leases: Optional[LeaseManager] = None,
+                 backend_label: str = "shard") -> None:
         self.store = store
-        self.leases = LeaseManager(store.root, worker=worker,
-                                   stale_after=stale_after)
+        # ``leases`` lets a transport swap the lease implementation (the
+        # coordinator's HttpLeaseClient speaks the same surface over HTTP);
+        # the default is the shared-filesystem LeaseManager
+        self.leases = leases if leases is not None else LeaseManager(
+            store.root, worker=worker, stale_after=stale_after)
+        self.backend_label = backend_label
         self.poll_interval = float(poll_interval)
         self.retry = retry or DEFAULT_RETRY_POLICY
         self.deadline = deadline
@@ -497,6 +641,13 @@ class ShardWorker:
                 if not self.leases.clear_failure(key):
                     return None   # another worker claimed it; poll again
                 prior_attempts = attempts
+            elif lease.get("worker") == self.leases.worker:
+                # our own abandoned running lease — e.g. an acquire whose
+                # acknowledgement was lost over the coordinator transport.
+                # Liveness says "live" (we are), so staleness would wait the
+                # full TTL; the ownership-checked release drops it and the
+                # normal acquire below takes a fresh lease.
+                self.leases.release(key)
             elif self.leases.is_stale(key, lease):
                 self.leases.reclaim(key, lease)
             else:
@@ -537,7 +688,7 @@ class ShardWorker:
         # keyed by the canonical cell hash: if this worker dies and another
         # recomputes the cell, both instances share one deterministic span id
         with obs_trace.span("cell.compute", key=key, cell=key,
-                            cell_label=cell.name, backend="shard",
+                            cell_label=cell.name, backend=self.backend_label,
                             worker=self.leases.worker) as cell_span:
             while True:
                 attempts += 1
@@ -575,7 +726,7 @@ class ShardWorker:
             "engine": result.extra.get("engine", cell.engine),
             "elapsed_s": round(time.perf_counter() - t0, 6),
             "worker": self.leases.worker,
-            "backend": "shard",
+            "backend": self.backend_label,
             "multinomial_kernel": _kernel_id(),
         })
         provenance.pop("cell_keys", None)

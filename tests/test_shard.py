@@ -7,6 +7,8 @@ import json
 import multiprocessing
 import os
 import signal
+import subprocess
+import sys
 import time
 
 import numpy as np
@@ -195,6 +197,135 @@ class TestLeaseManager:
         log = read_execution_log(tmp_path)
         assert [r["key"] for r in log] == ["k1", "k2"]
         assert all(r["worker"] == "w" for r in log)
+
+
+# ---------------------------------------------------------------------- #
+# lease liveness (regressions: pid reuse, clock skew, identity stability)
+# ---------------------------------------------------------------------- #
+class TestLeaseLiveness:
+    @staticmethod
+    def _rewrite(manager, key, **fields):
+        path = manager._path(key)
+        lease = json.loads(path.read_text())
+        lease.update(fields)
+        path.write_text(json.dumps(lease))
+        return json.loads(path.read_text())
+
+    def test_worker_identity_is_memoized_per_process(self):
+        from repro.store.shard import process_nonce, worker_identity
+
+        # regression: identity used to mint a fresh uuid4 per call, so two
+        # call sites comparing identities always disagreed
+        assert worker_identity() == worker_identity()
+        assert worker_identity().endswith(process_nonce())
+        assert worker_identity().split(":")[1] == str(os.getpid())
+
+    def test_worker_identity_differs_across_processes(self):
+        from repro.store.shard import worker_identity
+
+        with multiprocessing.Pool(1) as pool:
+            child = pool.apply(worker_identity)
+        assert child != worker_identity()
+
+    def test_recycled_pid_lease_is_stale(self, tmp_path):
+        # regression: a same-host lease whose recorded pid was recycled by
+        # an unrelated process used to be immortal (pid alive → live).
+        # A live process *started after the lease was acquired* cannot be
+        # the lease's owner — incarnation check declares it stale.
+        manager = LeaseManager(tmp_path, worker="crash")
+        manager.acquire("k")
+        victim = subprocess.Popen([sys.executable, "-c",
+                                   "import time; time.sleep(60)"])
+        try:
+            self._rewrite(manager, "k", pid=victim.pid, nonce="dead0000",
+                          acquired_at=time.time() - 60)
+            observer = LeaseManager(tmp_path, worker="other")
+            observed = observer.peek("k")
+            assert observer.is_stale("k", observed)
+            assert observer.reclaim("k", observed)
+            assert observer.acquire("k")
+        finally:
+            victim.kill()
+            victim.wait()
+
+    def test_plausible_same_start_lease_stays_live(self, tmp_path):
+        # the other side of the incarnation check: a live pid whose start
+        # time predates the lease acquisition is (as far as the observer
+        # can tell) the true owner — never stale
+        manager = LeaseManager(tmp_path, worker="w")
+        victim = subprocess.Popen([sys.executable, "-c",
+                                   "import time; time.sleep(60)"])
+        try:
+            time.sleep(0.1)
+            manager.acquire("k")   # acquired after the victim started
+            lease = self._rewrite(manager, "k", pid=victim.pid,
+                                  nonce="f0e1d2c3")
+            assert not manager.is_stale("k", lease)
+        finally:
+            victim.kill()
+            victim.wait()
+
+    def test_own_pid_foreign_nonce_is_stale(self, tmp_path):
+        # same host, same pid, different nonce: a previous incarnation of
+        # *this* pid slot — the nonce comparison needs no /proc at all
+        manager = LeaseManager(tmp_path, worker="w")
+        manager.acquire("k")
+        lease = self._rewrite(manager, "k", nonce="00000000")
+        assert manager.is_stale("k", lease)
+
+    def test_future_dated_foreign_lease_is_stale(self, tmp_path):
+        # regression: age = now - mtime went negative for a foreign host
+        # with a fast clock, so the lease never crossed the TTL.  Mtimes
+        # beyond the plausibility slack are treated as stale immediately.
+        manager = LeaseManager(tmp_path, worker="w", stale_after=0.05)
+        manager.acquire("k")
+        path = manager._path("k")
+        future = time.time() + 900
+        self._rewrite(manager, "k", host="fast-clock-host")
+        os.utime(path, (future, future))
+        assert manager.is_stale("k", manager.peek("k"))
+
+    def test_slightly_future_foreign_lease_stays_live(self, tmp_path):
+        # ordinary NFS-grade skew (seconds) must not trip the clamp
+        manager = LeaseManager(tmp_path, worker="w", stale_after=30.0)
+        manager.acquire("k")
+        path = manager._path("k")
+        near = time.time() + 5
+        self._rewrite(manager, "k", host="slightly-fast-host")
+        os.utime(path, (near, near))
+        assert not manager.is_stale("k", manager.peek("k"))
+
+    def test_release_refuses_foreign_lease(self, tmp_path):
+        # late release after a reclaim + re-acquire: the old owner must not
+        # clobber the new owner's lease
+        old = LeaseManager(tmp_path, worker="old")
+        new = LeaseManager(tmp_path, worker="new")
+        old.acquire("k")
+        old._path("k").unlink()     # reclaimed from under the old owner
+        new.acquire("k")
+        old.release("k")            # ownership check: not ours, no unlink
+        assert new.peek("k")["worker"] == "new"
+        new.release("k")
+        assert new.peek("k") is None
+
+    def test_negative_skew_chaos_schedule(self, tmp_path):
+        # the stale-clock seam with *negative* skew future-dates a lease
+        # (acquired_at and mtime pushed past now): before the clamp this
+        # lease was unreclaimable and the sweep hung until the kill-worker
+        # budget drained.  The pinned plan proves reclaim + exactly-once
+        # now survive it.
+        from chaos import assert_chaos_invariants, run_chaos_trial
+        from repro.robustness import FaultPlan, FaultSpec
+
+        plan = FaultPlan(specs=[
+            FaultSpec("lease.acquire", "stale-clock", skew_s=-900.0),
+            FaultSpec("worker.compute", "kill-worker"),
+        ], seed=4242, journal=str(tmp_path / "journal.jsonl"))
+        outcome = run_chaos_trial(tmp_path, seed=4242, workers=2, plan=plan)
+        assert_chaos_invariants(outcome)
+        fired = outcome.fired_seams()
+        assert fired["lease.acquire"], "stale-clock fault never fired"
+        assert fired["worker.compute"], "kill-worker fault never fired"
 
 
 # ---------------------------------------------------------------------- #
