@@ -226,6 +226,24 @@ def build_parser() -> argparse.ArgumentParser:
     obs_val = obs_sub.add_parser(
         "validate", help="check every trace line against the trace schema")
     obs_val.add_argument("--trace", type=Path, required=True, metavar="DIR")
+
+    lnt = sub.add_parser(
+        "lint", help="run the AST-based invariant checker over the package")
+    lnt.add_argument("--format", choices=("text", "json"), default="text",
+                     help="output shape: human text (default) or the "
+                          "schema-versioned JSON report document")
+    lnt.add_argument("--root", type=Path, default=None,
+                     help="package directory to scan (default: the "
+                          "installed repro package)")
+    lnt.add_argument("--baseline", type=Path, default=None,
+                     help="baseline file (default: lint-baseline.json at "
+                          "the repository root); a missing file is an "
+                          "empty baseline")
+    lnt.add_argument("--write-baseline", action="store_true",
+                     help="grandfather the current findings into the "
+                          "baseline file and exit clean — the only "
+                          "sanctioned way to regenerate after ratcheting "
+                          "debt down")
     return parser
 
 
@@ -555,6 +573,29 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import render_json, render_text, run_lint
+
+    try:
+        run = run_lint(root=args.root, baseline_path=args.baseline,
+                       write_baseline=args.write_baseline)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if run.wrote_baseline:
+        count = len(run.result.findings)
+        print(f"wrote baseline with {count} grandfathered finding(s) to "
+              f"{run.baseline_path}")
+    try:
+        if args.format == "json":
+            print(render_json(run.result, run.outcome, run.exit_code))
+        else:
+            print(render_text(run.result, run.outcome, run.exit_code))
+    except BrokenPipeError:
+        pass  # downstream pager/head closed the pipe; exit code still stands
+    return run.exit_code
+
+
 def _cmd_figure1(args: argparse.Namespace) -> int:
     figure = figures.reproduce_figure1(scale=args.scale, num_runs=args.runs)
     print("Figure 1 (empirical mean convergence rounds):\n")
@@ -597,6 +638,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_store(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     parser.print_help()
     return 1
 

@@ -106,7 +106,8 @@ def save_result_summary(result: SimulationResult, path: str | Path) -> Path:
 
 def load_result_summary(path: str | Path) -> Dict[str, Any]:
     """Load a summary written by :func:`save_result_summary`."""
-    return from_jsonable(json.loads(Path(path).read_text()))
+    data: Dict[str, Any] = from_jsonable(json.loads(Path(path).read_text()))
+    return data
 
 
 def save_trajectory_npz(trajectory: Trajectory, path: str | Path) -> Path:

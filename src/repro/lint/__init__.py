@@ -1,0 +1,67 @@
+"""``repro lint`` — an AST-based invariant checker for this repository.
+
+The repo's core contracts — bitwise seeded reproducibility, the
+``allow_nan=False`` strict-JSON convention, the typed metrics catalog,
+the warning taxonomy, atomic store writes, spawn-only fleet children, and
+the fault-seam catalog — are enforced dynamically by the test suite and
+the chaos harness.  This package is their *static* twin: a stdlib-``ast``
+pass (no code is imported or executed) that fails a violating diff in
+seconds at CI time, before any chaos schedule has to catch it at runtime.
+
+Layout
+------
+* :mod:`repro.lint.framework` — file walker, ``Finding`` records, inline
+  ``# repro-lint: disable=<rule>`` suppressions, rule base class;
+* :mod:`repro.lint.rules` — the seven-rule pack encoding the invariants;
+* :mod:`repro.lint.baseline` — the committed ratchet for legacy debt
+  (shrinks or fails, never silently loosens);
+* :mod:`repro.lint.report` — text output and the schema-versioned JSON
+  artifact (diffable across commits by finding fingerprint);
+* :mod:`repro.lint.runner` — the entry point behind ``repro lint``.
+
+See the README "Static analysis" section for the rule catalog, the
+suppression syntax, and the baseline workflow.
+"""
+
+from repro.lint.baseline import (
+    BASELINE_SCHEMA_VERSION,
+    Baseline,
+    BaselineOutcome,
+    apply_baseline,
+)
+from repro.lint.framework import (
+    FileContext,
+    Finding,
+    LintResult,
+    Rule,
+    run_rules,
+    suppressions_in,
+    walk_files,
+)
+from repro.lint.report import (
+    LINT_REPORT_SCHEMA_VERSION,
+    diff_reports,
+    load_report,
+    render_json,
+    render_text,
+    to_json_doc,
+)
+from repro.lint.rules import ALL_RULES, WARNING_CATALOG, default_rules
+from repro.lint.runner import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    LintRun,
+    default_baseline_path,
+    default_root,
+    run_lint,
+)
+
+__all__ = [
+    "ALL_RULES", "BASELINE_SCHEMA_VERSION", "Baseline", "BaselineOutcome",
+    "EXIT_CLEAN", "EXIT_FINDINGS", "FileContext", "Finding",
+    "LINT_REPORT_SCHEMA_VERSION", "LintResult", "LintRun", "Rule",
+    "WARNING_CATALOG", "apply_baseline", "default_baseline_path",
+    "default_root", "default_rules", "diff_reports", "load_report",
+    "render_json", "render_text", "run_lint", "run_rules",
+    "suppressions_in", "to_json_doc", "walk_files",
+]

@@ -1,0 +1,138 @@
+"""The committed lint baseline: legacy debt, ratcheted down — never up.
+
+A baseline maps finding *fingerprints* (content hashes over path, rule and
+the normalized offending line — see :attr:`repro.lint.framework.Finding.
+fingerprint`) to the number of occurrences that are grandfathered.  On a
+run:
+
+* a finding whose fingerprint is in the baseline, within its grandfathered
+  count, is **baselined** (reported separately, not fatal);
+* any finding beyond that is **new** (fatal: exit code 4);
+* a baseline entry with *fewer* matching findings than grandfathered is
+  **stale** — the debt shrank, which is good, but the baseline must be
+  regenerated (``repro lint --write-baseline``) in the same change so the
+  ratchet can never silently loosen.  Stale entries are therefore fatal
+  too: CI fails loudly until the smaller baseline is committed.
+
+Fingerprints are line-number independent, so unrelated edits that shift a
+grandfathered line up or down the file do not invalidate the baseline;
+editing the offending line itself does (and the edit is exactly when the
+finding should be fixed rather than re-grandfathered).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.lint.framework import Finding
+
+__all__ = ["BASELINE_SCHEMA_VERSION", "Baseline", "BaselineOutcome",
+           "apply_baseline"]
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Grandfathered fingerprints with occurrence counts and context."""
+
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        schema = data.get("schema")
+        if schema != BASELINE_SCHEMA_VERSION:
+            raise ValueError(
+                f"baseline {path} has schema {schema!r}, expected "
+                f"{BASELINE_SCHEMA_VERSION}; regenerate with "
+                f"`repro lint --write-baseline`")
+        entries = data.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"baseline {path}: 'entries' must be an object")
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        counts: Counter = Counter(f.fingerprint for f in findings)
+        by_fp: Dict[str, Finding] = {}
+        for f in findings:
+            by_fp.setdefault(f.fingerprint, f)
+        entries = {
+            fp: {
+                "count": counts[fp],
+                "rule": by_fp[fp].rule,
+                "path": by_fp[fp].path,
+                "message": by_fp[fp].message,
+            }
+            for fp in sorted(counts)
+        }
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA_VERSION,
+            "tool": "repro-lint",
+            "entries": {fp: self.entries[fp] for fp in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                                   allow_nan=False) + "\n",
+                        encoding="utf-8")
+
+    def grandfathered(self, fingerprint: str) -> int:
+        entry = self.entries.get(fingerprint)
+        if entry is None:
+            return 0
+        try:
+            return int(entry.get("count", 1))  # type: ignore[union-attr]
+        except (TypeError, ValueError):
+            return 1
+
+
+@dataclass
+class BaselineOutcome:
+    """Findings partitioned against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    #: fingerprints whose current occurrence count dropped below the
+    #: grandfathered count (debt shrank: regenerate the baseline)
+    stale: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def fatal(self) -> bool:
+        return bool(self.new or self.stale)
+
+
+def apply_baseline(findings: List[Finding],
+                   baseline: Optional[Baseline]) -> BaselineOutcome:
+    """Partition ``findings`` into new vs baselined, and detect staleness."""
+    outcome = BaselineOutcome()
+    if baseline is None:
+        baseline = Baseline()
+    seen: Counter = Counter()
+    for finding in findings:
+        fp = finding.fingerprint
+        seen[fp] += 1
+        if seen[fp] <= baseline.grandfathered(fp):
+            outcome.baselined.append(finding)
+        else:
+            outcome.new.append(finding)
+    for fp, entry in sorted(baseline.entries.items()):
+        allowed = baseline.grandfathered(fp)
+        if seen.get(fp, 0) < allowed:
+            outcome.stale.append({
+                "fingerprint": fp,
+                "grandfathered": allowed,
+                "matched": seen.get(fp, 0),
+                "rule": entry.get("rule", ""),
+                "path": entry.get("path", ""),
+            })
+    return outcome

@@ -1,0 +1,276 @@
+"""Core machinery of ``repro lint``: files, findings, suppressions, rules.
+
+The analyzer is a plain ``ast``-based pass over the package source tree —
+no imports are executed, so linting a broken tree cannot crash on side
+effects, and a violating diff fails in milliseconds instead of waiting for
+a chaos schedule to catch it at runtime.
+
+Anatomy of a run
+----------------
+1. :func:`walk_files` enumerates ``*.py`` files under the scan root and
+   parses each one once into a :class:`FileContext` (source lines, AST,
+   parent links, per-line suppressions).
+2. Every rule in the registry gets :meth:`Rule.check_file` called per file;
+   project-wide rules accumulate state and emit more findings from
+   :meth:`Rule.finalize` once the whole tree has been seen (e.g. "cataloged
+   metric with no emitter").
+3. Findings on a line carrying ``# repro-lint: disable=<rule>[,<rule>]``
+   are dropped as *suppressed* (counted, never fatal).  Suppression is the
+   mechanism for deliberate, documented exceptions; the committed baseline
+   (:mod:`repro.lint.baseline`) is the mechanism for *legacy debt being
+   ratcheted down* — new code should never add baseline entries.
+
+Findings carry a content-based :attr:`Finding.fingerprint` (path, rule and
+the normalized source line — not the line *number*), so baseline entries
+survive unrelated edits that shift code up or down a file.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "LintResult",
+    "walk_files",
+    "run_rules",
+    "suppressions_in",
+    "SUPPRESSION_RE",
+]
+
+#: Inline suppression syntax: ``# repro-lint: disable=rule-a,rule-b`` (or
+#: ``disable=all``) anywhere on the offending line.
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*disable="
+    r"([A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at ``path:line``.
+
+    ``path`` is always relative to the scan root and POSIX-separated, so
+    fingerprints (and therefore baselines) are machine-independent.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    snippet: str = ""
+    #: last line of the offending statement — an inline suppression anywhere
+    #: in [line, end_line] applies (multi-line calls put the comment where
+    #: it fits)
+    end_line: int = 0
+
+    @property
+    def span(self) -> range:
+        return range(self.line, max(self.line, self.end_line) + 1)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content-based identity: stable across line-number drift."""
+        normalized = " ".join(self.snippet.split())
+        raw = f"{self.path}|{self.rule}|{normalized}"
+        return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:12]
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "end_line": max(self.line, self.end_line),
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def suppressions_in(lines: List[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> set of rule ids disabled on that line."""
+    out: Dict[int, Set[str]] = {}
+    for i, text in enumerate(lines, start=1):
+        match = SUPPRESSION_RE.search(text)
+        if match:
+            out[i] = {r.strip() for r in match.group(1).split(",") if r.strip()}
+    return out
+
+
+class FileContext:
+    """One parsed source file handed to every rule.
+
+    Exposes the AST (with parent links in ``parents``), the raw source
+    lines, import aliases, and a :meth:`finding` helper that fills in the
+    offending snippet from the node's location.
+    """
+
+    def __init__(self, root: Path, path: Path) -> None:
+        self.root = root
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.source = path.read_text(encoding="utf-8")
+        self.lines = self.source.splitlines()
+        self.tree = ast.parse(self.source, filename=str(path))
+        self.suppressions = suppressions_in(self.lines)
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+    # -- helpers rules lean on ----------------------------------------- #
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        # suppressions apply anywhere on the enclosing *statement*, so a
+        # multi-line call can carry the comment on any continuation line
+        stmt: ast.AST = node
+        while stmt in self.parents and not isinstance(stmt, ast.stmt):
+            stmt = self.parents[stmt]
+        end_line = getattr(stmt, "end_lineno", None) or lineno
+        return Finding(path=self.rel, line=lineno, col=col, rule=rule,
+                       message=message, snippet=self.line_text(lineno),
+                       end_line=max(lineno, end_line))
+
+    def import_aliases(self, module: str) -> Set[str]:
+        """Local names bound to ``module`` (``import x as y`` / ``from p import x``)."""
+        names: Set[str] = set()
+        dotted = module.rsplit(".", 1)
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == module and "." not in module:
+                        names.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if len(dotted) == 2 and node.module == dotted[0]:
+                    for alias in node.names:
+                        if alias.name == dotted[1]:
+                            names.add(alias.asname or alias.name)
+        return names
+
+    def imports_module(self, module: str) -> bool:
+        """True iff the file has a plain ``import module`` (any alias)."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                if any(alias.name == module for alias in node.names):
+                    return True
+        return False
+
+    def imported_names(self, module: str) -> Dict[str, str]:
+        """``from module import a as b`` -> {"b": "a"}."""
+        out: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == module:
+                for alias in node.names:
+                    out[alias.asname or alias.name] = alias.name
+        return out
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """Nearest enclosing function/method definition, if any."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``doc`` and override the hooks.
+
+    ``check_file`` runs once per file (return/yield findings); ``finalize``
+    runs once per project after every file has been seen — the hook for
+    cross-file invariants.  A fresh rule instance is created per run, so
+    instance attributes are safe accumulator state.
+    """
+
+    id: str = ""
+    doc: str = ""
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+
+@dataclass
+class LintResult:
+    """Everything one lint pass produced (pre-baseline)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: List[Finding] = field(default_factory=list)
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings,
+                      key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def walk_files(root: Path,
+               exclude_parts: Tuple[str, ...] = ("__pycache__", "_build"),
+               ) -> Iterator[Path]:
+    """All ``*.py`` files under ``root``, deterministic order."""
+    for path in sorted(root.rglob("*.py")):
+        if any(part in exclude_parts for part in path.parts):
+            continue
+        yield path
+
+
+def run_rules(root: Path, rules: List[Rule]) -> LintResult:
+    """Parse every file under ``root`` once and apply ``rules``.
+
+    Undecodable / unparsable files become findings of the pseudo-rule
+    ``parse-error`` (always fatal, never baselineable) instead of crashing
+    the pass.
+    """
+    result = LintResult()
+    raw: List[Tuple[FileContext, Finding]] = []
+    contexts: List[FileContext] = []
+    for path in walk_files(root):
+        try:
+            ctx = FileContext(root, path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            rel = path.relative_to(root).as_posix()
+            lineno = getattr(exc, "lineno", 1) or 1
+            result.parse_errors.append(Finding(
+                path=rel, line=lineno, col=0, rule="parse-error",
+                message=f"cannot parse: {exc}"))
+            continue
+        contexts.append(ctx)
+        result.files_scanned += 1
+        for rule in rules:
+            for finding in rule.check_file(ctx):
+                raw.append((ctx, finding))
+    # project-wide second pass
+    by_rel = {ctx.rel: ctx for ctx in contexts}
+    for rule in rules:
+        for finding in rule.finalize():
+            raw.append((by_rel.get(finding.path), finding))  # type: ignore[arg-type]
+    for ctx, finding in raw:
+        disabled: Set[str] = set()
+        if ctx is not None:
+            for lineno in finding.span:
+                disabled |= ctx.suppressions.get(lineno, set())
+        if finding.rule in disabled or "all" in disabled:
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    return result

@@ -1,0 +1,114 @@
+"""Lint output shapes: human text and the schema-versioned JSON artifact.
+
+``repro lint --format json`` emits one self-describing document (no
+torn-tolerant framing needed — it is a single write to stdout), stable
+enough for tooling to diff finding sets across commits:
+
+* ``schema`` — :data:`LINT_REPORT_SCHEMA_VERSION`, bumped on incompatible
+  shape changes; :func:`load_report` enforces it;
+* ``findings`` / ``baselined`` — sorted by (path, line, col, rule), each
+  carrying the content-based ``fingerprint`` (the cross-commit identity:
+  two documents can be joined on fingerprints to compute
+  introduced/fixed sets without line-number noise);
+* ``stale_baseline`` — grandfathered entries the tree no longer produces
+  (fatal until the baseline is regenerated);
+* ``summary`` — counters plus the exit code the run produced.
+
+The dump passes ``allow_nan=False`` like every other JSON writer in the
+repo (finding records are strings and ints, so this is a pure backstop).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.lint.baseline import BaselineOutcome
+from repro.lint.framework import Finding, LintResult
+
+__all__ = ["LINT_REPORT_SCHEMA_VERSION", "to_json_doc", "render_json",
+           "render_text", "load_report", "diff_reports"]
+
+LINT_REPORT_SCHEMA_VERSION = 1
+
+
+def _sorted_dicts(findings: List[Finding]) -> List[Dict[str, Any]]:
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    return [f.to_dict() for f in ordered]
+
+
+def to_json_doc(result: LintResult, outcome: BaselineOutcome,
+                exit_code: int) -> Dict[str, Any]:
+    """The machine-readable report document (see module docstring)."""
+    return {
+        "schema": LINT_REPORT_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "findings": _sorted_dicts(outcome.new + result.parse_errors),
+        "baselined": _sorted_dicts(outcome.baselined),
+        "suppressed": _sorted_dicts(result.suppressed),
+        "stale_baseline": outcome.stale,
+        "summary": {
+            "files_scanned": result.files_scanned,
+            "new": len(outcome.new) + len(result.parse_errors),
+            "baselined": len(outcome.baselined),
+            "suppressed": len(result.suppressed),
+            "stale_baseline": len(outcome.stale),
+            "exit_code": exit_code,
+        },
+    }
+
+
+def render_json(result: LintResult, outcome: BaselineOutcome,
+                exit_code: int) -> str:
+    return json.dumps(to_json_doc(result, outcome, exit_code), indent=2,
+                      sort_keys=True, allow_nan=False)
+
+
+def render_text(result: LintResult, outcome: BaselineOutcome,
+                exit_code: int) -> str:
+    lines: List[str] = []
+    for finding in sorted(outcome.new + result.parse_errors,
+                          key=lambda f: (f.path, f.line, f.col, f.rule)):
+        lines.append(finding.format())
+    for entry in outcome.stale:
+        lines.append(
+            f"stale-baseline: {entry['fingerprint']} ({entry['rule']} in "
+            f"{entry['path']}): grandfathered {entry['grandfathered']} but "
+            f"matched {entry['matched']} — debt shrank; regenerate with "
+            f"`repro lint --write-baseline`")
+    lines.append(
+        f"repro lint: {result.files_scanned} file(s), "
+        f"{len(outcome.new) + len(result.parse_errors)} new finding(s), "
+        f"{len(outcome.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(outcome.stale)} stale baseline entr"
+        f"{'y' if len(outcome.stale) == 1 else 'ies'}")
+    return "\n".join(lines)
+
+
+def load_report(text: str) -> Dict[str, Any]:
+    """Parse + schema-check a document produced by :func:`render_json`."""
+    doc = json.loads(text)
+    if not isinstance(doc, dict) or doc.get("tool") != "repro-lint":
+        raise ValueError("not a repro-lint report document")
+    if doc.get("schema") != LINT_REPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"report schema {doc.get('schema')!r} unsupported "
+            f"(expected {LINT_REPORT_SCHEMA_VERSION})")
+    for field in ("findings", "baselined", "suppressed", "stale_baseline"):
+        if not isinstance(doc.get(field), list):
+            raise ValueError(f"report field {field!r} must be a list")
+    return doc
+
+
+def diff_reports(old: Dict[str, Any], new: Dict[str, Any]) -> Dict[str, Any]:
+    """Introduced/fixed finding sets between two reports, by fingerprint."""
+    old_fps = {f["fingerprint"] for f in old["findings"] + old["baselined"]}
+    new_fps = {f["fingerprint"] for f in new["findings"] + new["baselined"]}
+    by_fp = {f["fingerprint"]: f for f in new["findings"] + new["baselined"]}
+    old_by_fp = {f["fingerprint"]: f
+                 for f in old["findings"] + old["baselined"]}
+    return {
+        "introduced": [by_fp[fp] for fp in sorted(new_fps - old_fps)],
+        "fixed": [old_by_fp[fp] for fp in sorted(old_fps - new_fps)],
+    }

@@ -1,0 +1,94 @@
+"""The ``repro lint`` entry point: scan, baseline, report, exit code.
+
+Exit codes (chosen to never collide with the sweep CLI's 0/1/2/3):
+
+* ``0`` — tree is clean (modulo baselined + suppressed findings);
+* ``4`` — new findings, parse errors, or a stale baseline;
+* ``2`` — usage errors (unreadable baseline, bad root), via argparse
+  conventions in :mod:`repro.cli`.
+
+Defaults resolve from the installed package: the scan root is the
+``repro`` package directory itself, and the baseline is
+``lint-baseline.json`` at the repository root (two levels up from the
+package, next to ``README.md``) — so a bare ``repro lint`` inside CI or a
+checkout does the right thing with no flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import Baseline, BaselineOutcome, apply_baseline
+from repro.lint.framework import LintResult, Rule, run_rules
+from repro.lint.rules import default_rules
+
+__all__ = ["EXIT_CLEAN", "EXIT_FINDINGS", "LintRun", "run_lint",
+           "default_root", "default_baseline_path"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 4
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (the scan target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path(root: Optional[Path] = None) -> Path:
+    """``<repo>/lint-baseline.json`` for a ``src/repro`` layout root."""
+    root = root or default_root()
+    return root.parent.parent / "lint-baseline.json"
+
+
+@dataclass
+class LintRun:
+    """One complete lint pass: raw result, baseline partition, exit code."""
+
+    result: LintResult
+    outcome: BaselineOutcome
+    exit_code: int
+    root: Path
+    baseline_path: Optional[Path] = None
+    wrote_baseline: bool = False
+    rules: List[Rule] = field(default_factory=list)
+
+
+def run_lint(root: Optional[Path] = None,
+             baseline_path: Optional[Path] = None,
+             write_baseline: bool = False,
+             rules: Optional[List[Rule]] = None) -> LintRun:
+    """Scan ``root`` with the rule pack and apply the baseline ratchet.
+
+    With ``write_baseline=True`` the current findings *become* the
+    baseline (written to ``baseline_path``) and the run exits clean —
+    the one sanctioned way to regenerate after ratcheting debt down.
+    """
+    root = (root or default_root()).resolve()
+    if not root.is_dir():
+        raise FileNotFoundError(f"lint root {root} is not a directory")
+    if baseline_path is None:
+        candidate = default_baseline_path(root)
+        baseline_path = candidate
+    rules = default_rules() if rules is None else rules
+    result = run_rules(root, rules)
+    findings = result.sorted_findings()
+
+    if write_baseline:
+        baseline = Baseline.from_findings(findings)
+        baseline.save(baseline_path)
+        outcome = apply_baseline(findings, baseline)
+        exit_code = EXIT_FINDINGS if result.parse_errors else EXIT_CLEAN
+        return LintRun(result=result, outcome=outcome, exit_code=exit_code,
+                       root=root, baseline_path=baseline_path,
+                       wrote_baseline=True, rules=rules)
+
+    baseline = Baseline.load(baseline_path)
+    outcome = apply_baseline(findings, baseline)
+    fatal = outcome.fatal or bool(result.parse_errors)
+    return LintRun(result=result, outcome=outcome,
+                   exit_code=EXIT_FINDINGS if fatal else EXIT_CLEAN,
+                   root=root, baseline_path=baseline_path, rules=rules)

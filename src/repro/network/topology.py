@@ -122,9 +122,19 @@ def ring_topology(n: int) -> GraphTopology:
     return GraphTopology(nx.cycle_graph(n))
 
 
-def random_regular_topology(n: int, degree: int, seed: Optional[int] = None) -> GraphTopology:
-    """A random ``degree``-regular graph on ``n`` processes."""
-    graph = nx.random_regular_graph(degree, n, seed=seed)
+def random_regular_topology(
+    n: int, degree: int,
+    seed: Optional[int | np.random.Generator] = None,
+) -> GraphTopology:
+    """A random ``degree``-regular graph on ``n`` processes.
+
+    The draw is always driven by a local ``numpy.random.Generator`` —
+    ``seed=None`` means fresh OS entropy, never the ``random`` module's
+    global state (rng-discipline: the process-wide stream stays untouched,
+    and an integer ``seed`` fully determines the edge set).
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    graph = nx.random_regular_graph(degree, n, seed=rng)
     graph = nx.convert_node_labels_to_integers(graph)
     return GraphTopology(graph)
 

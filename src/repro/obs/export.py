@@ -139,7 +139,7 @@ def validate_trace(trace_dir: str | Path) -> Dict[str, int]:
             validate_record(record)
         except ValueError as exc:
             raise ValueError(f"trace record {i} invalid: {exc}: "
-                             f"{json.dumps(record)[:200]}") from exc
+                             f"{repr(record)[:200]}") from exc
         kinds[record["kind"]] += 1
     return {**stats, **kinds}
 
@@ -285,7 +285,8 @@ def merge_trace(trace_dir: str | Path) -> MergedTrace:
                 counters[name] = counters.get(name, 0) + value
                 labels = record.get("labels") or {}
                 if labels:
-                    label_key = json.dumps(labels, sort_keys=True)
+                    label_key = json.dumps(labels, sort_keys=True,
+                                           allow_nan=False)
                     detail = counter_labels.setdefault(name, {})
                     detail[label_key] = detail.get(label_key, 0) + value
 

@@ -21,6 +21,7 @@ catalog fails fast instead of producing unaggregatable traces.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict
 
 from repro.obs import trace as _trace
@@ -144,4 +145,10 @@ def observe(name: str, value: float, **labels: Any) -> None:
     if tracer is None:
         return
     _check(name, "histogram")
-    tracer.metric(name, float(value), labels)
+    value = float(value)
+    if not math.isfinite(value):
+        # the strict-JSON convention: a NaN/inf sample fails loudly at the
+        # emitter (like an uncataloged name) instead of reaching the trace
+        # sink, whose writer enforces allow_nan=False
+        raise ValueError(f"non-finite sample {value!r} for metric {name!r}")
+    tracer.metric(name, value, labels)

@@ -114,7 +114,8 @@ def span_id_for(name: str, key: Optional[str] = None,
     worker restarts.
     """
     if key is None:
-        key = json.dumps(_clean_attrs(attrs or {}), sort_keys=True)
+        key = json.dumps(_clean_attrs(attrs or {}), sort_keys=True,
+                         allow_nan=False)
     return hashlib.sha1(f"{name}|{key}".encode()).hexdigest()[:16]
 
 
@@ -278,7 +279,7 @@ class Tracer:
             return
         record = {"schema": TRACE_SCHEMA_VERSION, "pid": os.getpid(), **record}
         try:
-            fh.write(json.dumps(record) + "\n")
+            fh.write(json.dumps(record, allow_nan=False) + "\n")
             fh.flush()
         except (OSError, ValueError, TypeError):
             self._broken = True

@@ -195,7 +195,8 @@ class FaultPlan:
     def to_json(self) -> str:
         return json.dumps({"schema": 1, "seed": self.seed,
                            "journal": self.journal,
-                           "specs": [asdict(s) for s in self.specs]})
+                           "specs": [asdict(s) for s in self.specs]},
+                          allow_nan=False)
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":
@@ -340,7 +341,7 @@ class FaultInjector:
         line = json.dumps({"seam": spec.seam, "shape": spec.shape,
                            "pid": os.getpid(), "worker": _IS_WORKER,
                            "ctx": {k: str(v) for k, v in (ctx or {}).items()},
-                           "at": time.time()}) + "\n"
+                           "at": time.time()}, allow_nan=False) + "\n"
         try:
             # kill-worker journals *before* the SIGKILL, so even a death
             # leaves its record; O_APPEND single write — no interleaving
@@ -406,8 +407,13 @@ def _resolve() -> Optional[FaultInjector]:
             try:
                 _INJECTOR = FaultInjector(FaultPlan.load(raw))
             except (OSError, ValueError, TypeError, KeyError) as exc:
-                warnings.warn(f"ignoring malformed {ENV_VAR}: {exc}",
-                              UserWarning, stacklevel=3)
+                # lazy import: the package __init__ defines the warning
+                # classes *after* importing this module
+                from repro.robustness import DegradedExecutionWarning
+
+                warnings.warn(f"ignoring malformed {ENV_VAR}: {exc} — "
+                              f"running without fault injection",
+                              DegradedExecutionWarning, stacklevel=3)
                 _INJECTOR = None
     return _INJECTOR
 

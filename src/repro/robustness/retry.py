@@ -35,7 +35,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 __all__ = [
     "PERMANENT_ERROR_TYPES",
@@ -113,7 +113,7 @@ class RetryPolicy:
             -self.jitter, self.jitter)
         return max(0.0, base * (1.0 + frac))
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form for handing the policy to spawned shard workers."""
         return {"max_attempts": self.max_attempts,
                 "base_delay_s": self.base_delay_s,
@@ -122,7 +122,7 @@ class RetryPolicy:
                 "deadline_s": self.deadline_s}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "RetryPolicy":
+    def from_dict(cls, data: Dict[str, Any]) -> "RetryPolicy":
         return cls(**data)
 
 
@@ -150,7 +150,8 @@ class Deadline:
 
     def __init__(self, seconds: Optional[float]) -> None:
         self.seconds = seconds
-        self._expires = None if seconds is None else time.monotonic() + seconds
+        self._expires: Optional[float] = (
+            None if seconds is None else time.monotonic() + seconds)
 
     def expired(self) -> bool:
         return self._expires is not None and time.monotonic() >= self._expires

@@ -46,7 +46,7 @@ KEY_LENGTH = 64
 
 def canonical_cell_dict(config: ExperimentConfig) -> Dict[str, Any]:
     """The engine- and label-independent dict a cell is hashed from."""
-    data = to_jsonable(config.to_dict())
+    data: Dict[str, Any] = to_jsonable(config.to_dict())
     for field in NON_KEY_FIELDS:
         data.pop(field, None)
     if not data.get("adversary_budget"):

@@ -234,7 +234,7 @@ class LeaseManager:
             "acquired_at": time.time(),
             "state": "running",
             "nonce": who.get("nonce"),
-        })
+        }, allow_nan=False)
         try:
             fd = os.open(self._path(key), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
@@ -261,7 +261,11 @@ class LeaseManager:
             lease = json.loads(path.read_text())
             lease["host"] = f"fault-injected-{lease.get('host', '')}"
             lease["acquired_at"] = time.time() - skew_s
-            path.write_text(json.dumps(lease))
+            # deliberately non-atomic: this is the stale-clock fault's
+            # *cooperation* path, rewriting a live lease in place to model
+            # a skewed peer
+            path.write_text(json.dumps(
+                lease, allow_nan=False))  # repro-lint: disable=atomic-write-discipline
             back = time.time() - skew_s
             os.utime(path, (back, back))
         except (OSError, json.JSONDecodeError):
@@ -330,7 +334,7 @@ class LeaseManager:
             "error": error,
             "attempts": int(attempts),
             "kind": kind,
-        }))
+        }, allow_nan=False))
         os.replace(tmp, path)
 
     def clear_failure(self, key: str) -> bool:
@@ -433,7 +437,9 @@ class LeaseManager:
         except ImportError:   # pragma: no cover — non-POSIX fallback
             yield
             return
-        with open(self.root / "reclaim.lock", "w") as fh:
+        # the flock mutex file is content-free: truncating it is harmless
+        with open(self.root / "reclaim.lock",
+                  "w") as fh:  # repro-lint: disable=atomic-write-discipline
             fcntl.flock(fh, fcntl.LOCK_EX)
             try:
                 yield
@@ -482,7 +488,7 @@ class LeaseManager:
                            "worker": worker or self.worker,
                            "pid": os.getpid() if pid is None else int(pid),
                            "attempts": int(attempts),
-                           "at": time.time()}) + "\n"
+                           "at": time.time()}, allow_nan=False) + "\n"
         # fault seam: ``torn-write`` appends half a line (no newline), the
         # torn half and the next append glue into one undecodable line —
         # exactly what a worker killed mid-append leaves behind
@@ -787,7 +793,8 @@ class ShardBackend:
             manager = LeaseManager(store.root, stale_after=self.stale_after)
             # probe: leases must be creatable, or no worker can make progress
             probe = manager.leases_dir / f".probe.{os.getpid()}"
-            probe.write_text("")
+            # content-free writability probe, deleted immediately
+            probe.write_text("")  # repro-lint: disable=atomic-write-discipline
             probe.unlink()
         except OSError as exc:
             # degradation ladder, rung 1: without writable lease
